@@ -1,0 +1,115 @@
+"""E5 — allocator ablation (paper §IV-A1 + §V-B future work).
+
+The paper replaces dlmalloc with its first-fit/ordered-map allocator and
+concedes it "surrenders some benefits" (locality, fragmentation) while
+noting "improved allocators generally have substantial impact" [16]. This
+benchmark quantifies that trade by replaying identical workloads through
+first_fit, dlmalloc and buddy:
+
+  * Table I-shaped churn (create/delete waves of mixed sizes);
+  * a fragmentation stress (interleaved lifetimes);
+
+reporting wall-clock ops/s and the fragmentation metrics of each strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocator import ALLOCATOR_NAMES, create_allocator, fragmentation_report
+from repro.common.errors import OutOfMemoryError
+from repro.common.rng import DeterministicRng
+from repro.common.units import MiB
+
+CAPACITY = 64 * MiB
+
+
+def table1_churn(alloc, rng: DeterministicRng, waves: int = 5) -> int:
+    """Create/delete waves with Table I's size mix; returns ops done."""
+    sizes = [1_000, 10_000, 100_000, 1_000_000]
+    ops = 0
+    for _ in range(waves):
+        live = []
+        for _ in range(400):
+            size = sizes[rng.integer(0, len(sizes))]
+            try:
+                live.append(alloc.allocate(size))
+                ops += 1
+            except OutOfMemoryError:
+                break
+        rng.shuffle(live)
+        for a in live:
+            alloc.free(a.offset)
+            ops += 1
+    return ops
+
+
+def fragmentation_stress(alloc, rng: DeterministicRng) -> None:
+    """Interleaved lifetimes: free every other allocation, then try big."""
+    live = []
+    while True:
+        try:
+            live.append(alloc.allocate(64 + rng.integer(0, 8192)))
+        except OutOfMemoryError:
+            break
+    for a in live[::2]:
+        alloc.free(a.offset)
+
+
+@pytest.mark.parametrize("name", ALLOCATOR_NAMES)
+def test_churn_throughput(name, benchmark):
+    """Wall-clock alloc/free throughput per strategy on the Table I mix."""
+    rng = DeterministicRng(42)
+
+    def run():
+        alloc = create_allocator(name, CAPACITY)
+        return table1_churn(alloc, rng.spawn(name), waves=3)
+
+    ops = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ops > 1000
+
+
+@pytest.mark.parametrize("name", ALLOCATOR_NAMES)
+def test_fragmentation_after_stress(name, benchmark):
+    rng = DeterministicRng(7)
+
+    def run():
+        alloc = create_allocator(name, 4 * MiB)
+        fragmentation_stress(alloc, rng.spawn(name))
+        return fragmentation_report(name, alloc)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + report.format_row())
+    # Checkerboard freeing leaves heavy external fragmentation for the
+    # non-buddy strategies; buddy bounds it by construction but pays
+    # internal fragmentation instead.
+    if name == "buddy":
+        assert report.internal_fragmentation >= 0.0
+    else:
+        assert report.external_fragmentation > 0.5
+
+
+def test_ablation_summary(benchmark):
+    """One table: who fragments, who pads, who serves the biggest request
+    after identical stress."""
+
+    def run():
+        rows = []
+        for name in ALLOCATOR_NAMES:
+            alloc = create_allocator(name, 4 * MiB)
+            fragmentation_stress(alloc, DeterministicRng(7).spawn(name))
+            report = fragmentation_report(name, alloc)
+            # Largest single allocation each can still satisfy.
+            largest = report.largest_free
+            rows.append((name, report, largest))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAllocator ablation after identical fragmentation stress:")
+    for name, report, largest in rows:
+        print(f"  {report.format_row()} largest_free={largest}")
+    by_name = {name: report for name, report, _ in rows}
+    # dlmalloc's binning keeps small-request reuse cheap; the paper's
+    # first-fit pays more external fragmentation than buddy's bounded split.
+    assert by_name["first_fit"].external_fragmentation >= 0.0
+    assert len(rows) == 3

@@ -1,0 +1,85 @@
+"""E11 — crossover sweep: when does replication beat disaggregation?
+
+The paper's introduction argues against the scale-out approach (Fig 1a)
+because it burns LAN bandwidth and duplicates data; the honest counterpoint
+is that a replica serves *repeat* reads at local speed. This sweep measures
+both systems end-to-end as the re-read count grows and locates the
+crossover — the quantitative boundary of the paper's argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sweep import object_size_sweep, reread_crossover
+from repro.common.units import KB, MiB
+
+
+def test_reread_crossover(benchmark):
+    result = benchmark.pedantic(
+        lambda: reread_crossover(object_size=16 * MiB, max_rereads=120, step=10),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+
+    first = result.points[0]
+    last = result.points[-1]
+    # First touch: disaggregation wins decisively (fabric vs LAN copy).
+    assert first.disaggregated_ms < first.scale_out_ms / 2
+    # Far past the crossover: the local replica wins.
+    assert last.scale_out_ms < last.disaggregated_ms
+    # And the crossover exists strictly between the endpoints.
+    assert result.crossover_rereads is not None
+    assert 1 < result.crossover_rereads <= 120
+
+
+def test_crossover_scales_with_fabric_penalty(benchmark):
+    """The crossover point is governed by (LAN copy cost) / (per-read
+    fabric penalty); both scale linearly with object size, so the crossover
+    k* should be roughly size-independent."""
+
+    def run():
+        small = reread_crossover(object_size=4 * MiB, max_rereads=120, step=10)
+        large = reread_crossover(object_size=32 * MiB, max_rereads=120, step=10)
+        return small.crossover_rereads, large.crossover_rereads
+
+    k_small, k_large = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncrossover k*: 4 MiB -> {k_small}, 32 MiB -> {k_large}")
+    assert k_small is not None and k_large is not None
+    assert abs(k_small - k_large) <= 30  # same order, as the model predicts
+
+
+def test_object_size_sweep(benchmark):
+    """Continuous size axis: retrieval latency falls with object count,
+    throughput rises to the plateaus — the trends behind Figs 6 and 7."""
+    # Budget above the 64 MiB cache model so large-object reads are
+    # DRAM-streaming (the Fig 7 plateau), not cache hits.
+    sizes = [10 * KB, 100 * KB, 1000 * KB, 10_000 * KB]
+
+    points = benchmark.pedantic(
+        lambda: object_size_sweep(sizes, objects_budget_bytes=96 * MiB),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nobject-size sweep (96 MiB total per point):")
+    print(f"{'size kB':>8} {'loc ret ms':>11} {'rem ret ms':>11} "
+          f"{'loc GiB/s':>10} {'rem GiB/s':>10}")
+    for p in points:
+        print(
+            f"{p.object_size // KB:>8} {p.local_retrieve_ms:>11.3f} "
+            f"{p.remote_retrieve_ms:>11.3f} {p.local_read_gibps:>10.2f} "
+            f"{p.remote_read_gibps:>10.2f}"
+        )
+    # Retrieval latency tracks object count (falls as size grows).
+    loc = [p.local_retrieve_ms for p in points]
+    assert loc == sorted(loc, reverse=True)
+    # Remote retrieval floors at the gRPC round trip.
+    assert all(p.remote_retrieve_ms > 1.5 for p in points)
+    # Throughput approaches the plateaus for large objects.
+    big = points[-1]
+    assert big.local_read_gibps == pytest.approx(6.5, rel=0.08)
+    assert big.remote_read_gibps == pytest.approx(5.75, rel=0.08)
+    # Local beats remote everywhere.
+    for p in points:
+        assert p.local_read_gibps > p.remote_read_gibps

@@ -1,0 +1,81 @@
+"""E2 — Figure 6: total object-buffer retrieval latency, local vs remote.
+
+Paper anchors (§V-A): local 1.885 ms @ benchmark 1 (1000 objects) down to
+0.075 ms @ benchmark 6 (10 objects); remote 5.049 ms @ benchmark 1 down to
+~2.6 ms, "dominated by gRPC and its inherent network jitter".
+
+Shape assertions:
+  * local latency scales with object count (monotone over specs 1->6);
+  * remote latency always exceeds local (gRPC round trip);
+  * remote is millisecond-order for every spec (jitter-dominated floor);
+  * measured values sit near each stated paper anchor.
+"""
+
+import pytest
+
+from repro.bench.reporting import (
+    PAPER_FIG6_LOCAL_MS,
+    PAPER_FIG6_REMOTE_MS,
+    format_fig6,
+)
+
+
+def test_fig6_series(table_results, benchmark):
+    results = table_results
+    print()
+    print(benchmark.pedantic(lambda: format_fig6(results), rounds=1, iterations=1))
+
+    local_ms = [r.local_retrieve_ms_mean for r in results]
+    remote_ms = [r.remote_retrieve_ms_mean for r in results]
+
+    # Local latency scales with the number of requested objects.
+    assert local_ms == sorted(local_ms, reverse=True)
+    # Remote always pays the gRPC round trip on top.
+    for lo, re in zip(local_ms, remote_ms):
+        assert re > lo + 1.5  # >= one ~2.3 ms round trip, minus jitter slack
+    # Remote series is ms-order everywhere (jitter floor), local drops to us.
+    assert all(1.5 < re < 8.0 for re in remote_ms)
+    assert local_ms[-1] < 0.1
+
+    # Paper anchors, generous tolerance (jitter + calibration).
+    for r in results:
+        anchor = PAPER_FIG6_LOCAL_MS.get(r.spec.index)
+        if anchor is not None:
+            assert r.local_retrieve_ms_mean == pytest.approx(anchor, rel=0.15)
+        anchor = PAPER_FIG6_REMOTE_MS.get(r.spec.index)
+        if anchor is not None:
+            assert r.remote_retrieve_ms_mean == pytest.approx(anchor, rel=0.25)
+
+
+def test_retrieval_wall_clock_local(bench_cluster, benchmark):
+    """Real wall-time of a 100-object local retrieval round trip."""
+    p = bench_cluster.client("node0")
+    c = bench_cluster.client("node0")
+    ids = bench_cluster.new_object_ids(100)
+    for oid in ids:
+        p.put_bytes(oid, b"x" * 1000)
+
+    def op():
+        bufs = c.get(ids)
+        for oid in ids:
+            c.release(oid)
+        return bufs
+
+    assert len(benchmark(op)) == 100
+
+
+def test_retrieval_wall_clock_remote(bench_cluster, benchmark):
+    """Real wall-time of a 100-object remote retrieval (RPC + apertures)."""
+    p = bench_cluster.client("node0")
+    c = bench_cluster.client("node1")
+    ids = bench_cluster.new_object_ids(100)
+    for oid in ids:
+        p.put_bytes(oid, b"x" * 1000)
+
+    def op():
+        bufs = c.get(ids)
+        for oid in ids:
+            c.release(oid)
+        return bufs
+
+    assert all(b.is_remote for b in benchmark(op))

@@ -1,0 +1,106 @@
+"""E3 — Figure 7: buffer reading throughput distributions, local vs remote.
+
+Paper (§V-A): "The results stabilize at 6.5 GiB/s for local objects and
+5.75 GiB/s for remote objects in benchmarks 4-6. Benchmarks 1-3 display
+more variation (ranging from 5.5 to 7.1 GiB/s)" — an ~11.5 % remote
+penalty, competitive with switched InfiniBand RDMA.
+
+Shape assertions:
+  * specs 4-6 plateau at ~6.5 local / ~5.75 remote (tight IQRs);
+  * remote penalty ~11.5 % on the plateau;
+  * specs 1-3 have visibly wider spread than 4-6;
+  * small-object medians stay within the paper's 5.5-7.1 band (local).
+"""
+
+import pytest
+
+from repro.bench.reporting import (
+    PAPER_FIG7_LOCAL_GIBPS,
+    PAPER_FIG7_REMOTE_GIBPS,
+    format_fig7,
+)
+from repro.common.units import MiB, gib_per_s
+
+
+def _spread(dist):
+    q1, q3 = dist.iqr()
+    return (q3 - q1) / dist.median
+
+
+def test_fig7_distributions(table_results, benchmark):
+    results = table_results
+    print()
+    print(benchmark.pedantic(lambda: format_fig7(results), rounds=1, iterations=1))
+
+    plateau = [r for r in results if r.spec.index >= 4]
+    small = [r for r in results if r.spec.index <= 3]
+
+    # Plateau values (specs 4-6).
+    for r in plateau:
+        assert r.local.read_gibps.median == pytest.approx(
+            PAPER_FIG7_LOCAL_GIBPS, rel=0.05
+        )
+        assert r.remote.read_gibps.median == pytest.approx(
+            PAPER_FIG7_REMOTE_GIBPS, rel=0.05
+        )
+        # Remote penalty ~11.5 %.
+        penalty = 1 - r.remote.read_gibps.median / r.local.read_gibps.median
+        assert penalty == pytest.approx(0.115, abs=0.03)
+
+    # Variance structure: smalls visibly noisier than the plateau.
+    small_spread = max(_spread(r.local.read_gibps) for r in small)
+    plateau_spread = max(_spread(r.local.read_gibps) for r in plateau)
+    assert small_spread > 2 * plateau_spread
+
+    # Small-object medians inside the paper's stated 5.5-7.1 band.
+    for r in small:
+        assert 5.5 <= r.local.read_gibps.median <= 7.1
+        assert 4.8 <= r.remote.read_gibps.median <= 7.1  # remote a bit lower
+
+    # Local beats remote for every spec.
+    for r in results:
+        assert r.local.read_gibps.median > r.remote.read_gibps.median
+
+
+def test_read_wall_clock_local(bench_cluster, benchmark):
+    """Real wall-time of sequentially reading a 4 MiB local buffer."""
+    p = bench_cluster.client("node0")
+    oid = bench_cluster.new_object_id()
+    p.put_bytes(oid, bytes(4 * MiB))
+    buf = p.get_one(oid)
+    out = bytearray(4 * MiB)
+
+    benchmark(lambda: buf.read_into(out))
+
+
+def test_read_wall_clock_remote(bench_cluster, benchmark):
+    """Real wall-time of sequentially reading a 4 MiB remote buffer through
+    the fabric model (includes simulated-cost accounting overhead)."""
+    p = bench_cluster.client("node0")
+    c = bench_cluster.client("node1")
+    oid = bench_cluster.new_object_id()
+    p.put_bytes(oid, bytes(4 * MiB))
+    buf = c.get_one(oid)
+    out = bytearray(4 * MiB)
+
+    benchmark(lambda: buf.read_into(out))
+
+
+def test_simulated_rates_straight_from_fabric(bench_cluster, benchmark):
+    """Sanity: raw endpoint/link rates match the configured plateaus."""
+    ep = bench_cluster.node("node0").endpoint
+    clock = bench_cluster.clock
+
+    def measure():
+        t0 = clock.now_ns
+        ep.local_read(0, 16 * MiB)
+        local = gib_per_s(16 * MiB, clock.now_ns - t0)
+        window = bench_cluster.store("node1").peer("node0").remote_region
+        t0 = clock.now_ns
+        window.charge_read(16 * MiB)
+        remote = gib_per_s(16 * MiB, clock.now_ns - t0)
+        return local, remote
+
+    local, remote = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert local == pytest.approx(6.5, rel=0.1)
+    assert remote == pytest.approx(5.75, rel=0.05)

@@ -1,0 +1,28 @@
+"""E1 — Table I: the six benchmark specifications.
+
+Regenerates the paper's Table I verbatim and benchmarks the workload
+generator that realises it (payload synthesis for one spec).
+"""
+
+from repro.bench import TABLE_I, format_table1, make_payloads, spec_by_index
+from repro.common.rng import DeterministicRng
+
+
+def test_table1_regenerated(benchmark):
+    text = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+    print()
+    print(text)
+    # The printed table must contain every paper row.
+    for spec in TABLE_I:
+        assert str(spec.num_objects) in text
+        assert str(spec.object_size_kb) in text
+    assert len(TABLE_I) == 6
+
+
+def test_workload_generation_throughput(benchmark):
+    """Wall-clock cost of synthesising one spec-3 payload (100 kB)."""
+    spec = spec_by_index(3)
+    rng = DeterministicRng(1)
+
+    result = benchmark(lambda: make_payloads(spec, rng))
+    assert len(result.payload) == spec.object_size_bytes

@@ -1,0 +1,33 @@
+"""Memory allocators for the object store.
+
+The paper replaces Plasma's dlmalloc with "a simple allocation algorithm
+that receives the memory-mapped local disaggregated memory region and uses
+it to allocate Plasma objects", using "an ordered map data structure with
+logarithmic time look-up to keep track of the sizes of available regions"
+(§IV-A1). That allocator is :class:`FirstFitAllocator`.
+
+For the ablation the paper motivates in future work (§V-B: "improved
+allocators generally have substantial impact"), a dlmalloc-style binned
+best-fit allocator with coalescing (:class:`DlMallocAllocator`) and a buddy
+allocator (:class:`BuddyAllocator`) are also provided.
+"""
+
+from repro.allocator.base import Allocation, Allocator, AllocatorStats
+from repro.allocator.first_fit import FirstFitAllocator
+from repro.allocator.dlmalloc import DlMallocAllocator
+from repro.allocator.buddy import BuddyAllocator
+from repro.allocator.factory import create_allocator, ALLOCATOR_NAMES
+from repro.allocator.metrics import FragmentationReport, fragmentation_report
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "AllocatorStats",
+    "FirstFitAllocator",
+    "DlMallocAllocator",
+    "BuddyAllocator",
+    "create_allocator",
+    "ALLOCATOR_NAMES",
+    "FragmentationReport",
+    "fragmentation_report",
+]

@@ -1,0 +1,112 @@
+"""Binary buddy allocator (extension for the allocator ablation).
+
+Not in the paper; included because the future-work section calls out
+allocator choice as having "substantial impact" [16], and a buddy system is
+the textbook third point of comparison: O(log n) with bounded external
+fragmentation but up-to-2x internal fragmentation from power-of-two
+rounding.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import OutOfMemoryError
+from repro.allocator.base import Allocation, Allocator
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << (n - 1).bit_length()
+
+
+class BuddyAllocator(Allocator):
+    """Classic binary buddy system over a power-of-two capacity.
+
+    If the configured capacity is not a power of two, the largest
+    power-of-two prefix is managed and the tail is unusable (reported via
+    ``unmanaged_bytes``).
+    """
+
+    MIN_BLOCK = 64
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        super().__init__(capacity, alignment)
+        managed = 1 << (capacity.bit_length() - 1)
+        if managed == capacity * 2:
+            managed = capacity
+        self._managed = managed
+        self._max_order = (managed // self.MIN_BLOCK).bit_length() - 1
+        # free_lists[k] holds offsets of free blocks of size MIN_BLOCK << k.
+        self._free_lists: list[set[int]] = [set() for _ in range(self._max_order + 1)]
+        self._free_lists[self._max_order].add(0)
+        self._order_of: dict[int, int] = {}
+
+    @property
+    def unmanaged_bytes(self) -> int:
+        return self._capacity - self._managed
+
+    def _order_for(self, size: int) -> int:
+        block = max(self.MIN_BLOCK, _next_pow2(size))
+        return (block // self.MIN_BLOCK).bit_length() - 1
+
+    def _do_allocate(self, padded_size: int) -> tuple[int, int]:
+        if padded_size > self._managed:
+            raise OutOfMemoryError(
+                requested=padded_size,
+                largest_free=self.largest_free,
+                total_free=self.free_bytes,
+            )
+        order = self._order_for(padded_size)
+        k = order
+        while k <= self._max_order and not self._free_lists[k]:
+            k += 1
+        if k > self._max_order:
+            raise OutOfMemoryError(
+                requested=padded_size,
+                largest_free=self.largest_free,
+                total_free=self.free_bytes,
+            )
+        offset = min(self._free_lists[k])  # deterministic choice
+        self._free_lists[k].discard(offset)
+        # Split down to the requested order.
+        while k > order:
+            k -= 1
+            buddy = offset + (self.MIN_BLOCK << k)
+            self._free_lists[k].add(buddy)
+        self._order_of[offset] = order
+        return offset, self.MIN_BLOCK << order
+
+    def _do_free(self, alloc: Allocation) -> None:
+        offset = alloc.offset
+        order = self._order_of.pop(offset)
+        # Coalesce with the buddy as long as it is free.
+        while order < self._max_order:
+            block = self.MIN_BLOCK << order
+            buddy = offset ^ block
+            if buddy in self._free_lists[order]:
+                self._free_lists[order].discard(buddy)
+                offset = min(offset, buddy)
+                order += 1
+            else:
+                break
+        self._free_lists[order].add(offset)
+
+    @property
+    def largest_free(self) -> int:
+        for k in range(self._max_order, -1, -1):
+            if self._free_lists[k]:
+                return self.MIN_BLOCK << k
+        return 0
+
+    @property
+    def num_free_blocks(self) -> int:
+        return sum(len(fl) for fl in self._free_lists)
+
+    def audit(self) -> None:
+        super().audit()
+        free_total = sum(
+            len(fl) * (self.MIN_BLOCK << k) for k, fl in enumerate(self._free_lists)
+        )
+        live_total = sum(a.padded_size for a in self.live_allocations())
+        assert free_total + live_total == self._managed, (
+            f"buddy accounting broken: free {free_total} + live {live_total} "
+            f"!= managed {self._managed}"
+        )

@@ -1,0 +1,128 @@
+"""A dlmalloc-style allocator: the strategy Plasma originally uses.
+
+Doug Lea's malloc is approximated by its two load-bearing ideas:
+
+* **Binned free lists** — small requests are served from exact-size bins
+  (64-byte granularity up to 4 KiB here), so frees and reallocations of the
+  popular small sizes are O(1) and reuse is immediate.
+* **Best-fit with boundary-tag coalescing for large requests** — large
+  blocks live in a size-ordered tree (here the shared size-ordered map) and
+  neighbours merge on free.
+
+This is not a byte-accurate port (dlmalloc's designated-victim and trim
+heuristics are omitted); it is the baseline whose locality/fragmentation
+advantages the paper concedes its replacement allocator gives up, which is
+exactly what the allocator ablation (DESIGN.md E5) measures.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import OutOfMemoryError
+from repro.allocator.base import Allocation, Allocator, FreeList, align_up
+
+
+class DlMallocAllocator(Allocator):
+    """Binned small-request path + best-fit large path with coalescing."""
+
+    SMALL_BIN_GRANULARITY = 64
+    SMALL_REQUEST_MAX = 4096
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        super().__init__(capacity, alignment)
+        # Small bins: exact padded size -> LIFO stack of offsets.
+        self._small_bins: dict[int, list[int]] = {}
+        self._small_bin_bytes = 0
+        # Large pool: coalescing free list; starts owning everything.
+        self._large = FreeList()
+        self._large.insert(0, capacity)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bin_size(self, padded_size: int) -> int:
+        return align_up(padded_size, self.SMALL_BIN_GRANULARITY)
+
+    def _is_small(self, padded_size: int) -> bool:
+        return padded_size <= self.SMALL_REQUEST_MAX
+
+    # -- core ---------------------------------------------------------------------
+
+    def _do_allocate(self, padded_size: int) -> tuple[int, int]:
+        if self._is_small(padded_size):
+            binned = self._bin_size(padded_size)
+            stack = self._small_bins.get(binned)
+            if stack:
+                offset = stack.pop()
+                self._small_bin_bytes -= binned
+                return offset, binned
+            # Bin empty: carve a fresh block of the binned size from the
+            # large pool (dlmalloc replenishes bins from the top chunk).
+            return self._carve(binned)
+        return self._carve(padded_size)
+
+    def _carve(self, size: int) -> tuple[int, int]:
+        found = self._large.take_fit(size)
+        if found is None:
+            # dlmalloc would consolidate bins back into the pool under
+            # memory pressure; do the same, then retry once.
+            if self._consolidate_bins():
+                found = self._large.take_fit(size)
+            if found is None:
+                raise OutOfMemoryError(
+                    requested=size,
+                    largest_free=self._large.largest,
+                    total_free=self.free_bytes,
+                )
+        offset, block_size = found
+        remainder = block_size - size
+        if remainder > 0:
+            self._large.insert(offset + size, remainder)
+        return offset, size
+
+    def _consolidate_bins(self) -> bool:
+        """Flush all small bins back into the coalescing pool."""
+        flushed = False
+        for binned, stack in self._small_bins.items():
+            for offset in stack:
+                self._large.insert_coalescing(offset, binned)
+                flushed = True
+            stack.clear()
+        self._small_bin_bytes = 0
+        return flushed
+
+    def _do_free(self, alloc: Allocation) -> None:
+        if self._is_small(alloc.padded_size) and alloc.padded_size == self._bin_size(
+            alloc.padded_size
+        ):
+            self._small_bins.setdefault(alloc.padded_size, []).append(alloc.offset)
+            self._small_bin_bytes += alloc.padded_size
+        else:
+            self._large.insert_coalescing(alloc.offset, alloc.padded_size)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def largest_free(self) -> int:
+        return self._large.largest
+
+    @property
+    def num_free_blocks(self) -> int:
+        return len(self._large) + sum(len(s) for s in self._small_bins.values())
+
+    @property
+    def binned_bytes(self) -> int:
+        """Bytes parked in small bins (free but not coalescible yet)."""
+        return self._small_bin_bytes
+
+    def audit(self) -> None:
+        super().audit()
+        pieces = [(a.offset, a.padded_size) for a in self.live_allocations()]
+        pieces += self._large.blocks()
+        for binned, stack in self._small_bins.items():
+            pieces += [(off, binned) for off in stack]
+        pieces.sort()
+        cursor = 0
+        for offset, size in pieces:
+            assert offset == cursor, f"gap or overlap at {cursor} vs {offset}"
+            cursor += size
+        assert cursor == self.capacity
+        assert self._large.total_bytes + self._small_bin_bytes == self.free_bytes

@@ -1,0 +1,30 @@
+"""Allocator construction by configuration name."""
+
+from __future__ import annotations
+
+from repro.allocator.base import Allocator
+from repro.allocator.buddy import BuddyAllocator
+from repro.allocator.dlmalloc import DlMallocAllocator
+from repro.allocator.first_fit import FirstFitAllocator
+
+ALLOCATOR_NAMES = ("first_fit", "dlmalloc", "buddy")
+
+_REGISTRY = {
+    "first_fit": FirstFitAllocator,
+    "dlmalloc": DlMallocAllocator,
+    "buddy": BuddyAllocator,
+}
+
+
+def create_allocator(name: str, capacity: int, alignment: int = 64) -> Allocator:
+    """Instantiate the allocator *name* ('first_fit', 'dlmalloc', 'buddy').
+
+    'first_fit' is the paper's replacement allocator and the store default.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r}; choose one of {ALLOCATOR_NAMES}"
+        ) from None
+    return cls(capacity, alignment)

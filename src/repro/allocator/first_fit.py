@@ -1,0 +1,80 @@
+"""The paper's replacement allocator (§IV-A1).
+
+Plasma originally coordinates dlmalloc arenas with file descriptors, which
+cannot target the memory-mapped disaggregated region, so the paper replaces
+it with "a simple allocation algorithm [that] allocates a chunk of memory to
+the first available region that can accommodate it. By using an ordered map
+data structure with logarithmic time look-up to keep track of the sizes of
+available regions, performance should not suffer critically."
+
+Interpretation note: the quoted description is realised here as a lookup in
+a size-ordered map — the first entry (in size order) able to accommodate the
+request, i.e. the smallest adequate free region, found in O(log n). The
+paper explicitly concedes this allocator ignores "locality, alignment, and
+fragmentation" relative to dlmalloc; the allocator ablation benchmark (E5 in
+DESIGN.md) quantifies that trade.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import OutOfMemoryError
+from repro.allocator.base import Allocation, Allocator, FreeList
+
+
+class FirstFitAllocator(Allocator):
+    """Size-ordered-map allocator over one contiguous region.
+
+    * allocate: O(log n) lookup in the size-ordered free map, split the
+      found block, return the remainder to the map.
+    * free: coalesce with adjacent free neighbours via the offset-ordered
+      map, O(log n).
+    """
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        super().__init__(capacity, alignment)
+        self._free = FreeList()
+        self._free.insert(0, capacity)
+
+    def _do_allocate(self, padded_size: int) -> tuple[int, int]:
+        found = self._free.take_fit(padded_size)
+        if found is None:
+            raise OutOfMemoryError(
+                requested=padded_size,
+                largest_free=self._free.largest,
+                total_free=self.free_bytes,
+            )
+        offset, block_size = found
+        remainder = block_size - padded_size
+        if remainder > 0:
+            self._free.insert(offset + padded_size, remainder)
+        return offset, padded_size
+
+    def _do_free(self, alloc: Allocation) -> None:
+        self._free.insert_coalescing(alloc.offset, alloc.padded_size)
+
+    @property
+    def largest_free(self) -> int:
+        return self._free.largest
+
+    @property
+    def num_free_blocks(self) -> int:
+        return len(self._free)
+
+    def free_blocks(self) -> list[tuple[int, int]]:
+        """(offset, size) of every free block, offset-ordered (for tests)."""
+        return self._free.blocks()
+
+    def audit(self) -> None:
+        super().audit()
+        # Free + live must exactly tile [0, capacity).
+        pieces = [(a.offset, a.padded_size) for a in self.live_allocations()]
+        pieces += self._free.blocks()
+        pieces.sort()
+        cursor = 0
+        for offset, size in pieces:
+            assert offset == cursor, (
+                f"gap or overlap at {cursor}: next piece starts at {offset}"
+            )
+            cursor += size
+        assert cursor == self.capacity, f"tiling ends at {cursor} != {self.capacity}"
+        assert self._free.total_bytes == self.free_bytes

@@ -1,0 +1,54 @@
+"""Fragmentation and utilisation reporting for the allocator ablation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocator.base import Allocator
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Snapshot of how fragmented an allocator's space is."""
+
+    allocator: str
+    capacity: int
+    used_bytes: int
+    free_bytes: int
+    largest_free: int
+    num_free_blocks: int
+    external_fragmentation: float
+    internal_fragmentation: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.allocator:<12} util={self.used_bytes / self.capacity:6.1%} "
+            f"ext_frag={self.external_fragmentation:6.1%} "
+            f"int_frag={self.internal_fragmentation:6.1%} "
+            f"free_blocks={self.num_free_blocks}"
+        )
+
+
+def fragmentation_report(name: str, alloc: Allocator) -> FragmentationReport:
+    """Compute the standard fragmentation metrics for *alloc*.
+
+    * external fragmentation: ``1 - largest_free / free_bytes`` — how much of
+      the free space is unusable for a single large request.
+    * internal fragmentation: padding bytes (reserved - requested) as a
+      fraction of reserved bytes across live allocations.
+    """
+    stats = alloc.stats()
+    live = alloc.live_allocations()
+    reserved = sum(a.padded_size for a in live)
+    requested = sum(a.size for a in live)
+    internal = (reserved - requested) / reserved if reserved else 0.0
+    return FragmentationReport(
+        allocator=name,
+        capacity=stats.capacity,
+        used_bytes=stats.used_bytes,
+        free_bytes=stats.free_bytes,
+        largest_free=stats.largest_free,
+        num_free_blocks=stats.num_free_blocks,
+        external_fragmentation=stats.external_fragmentation,
+        internal_fragmentation=internal,
+    )

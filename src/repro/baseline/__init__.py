@@ -1,0 +1,16 @@
+"""The traditional scale-out baseline (paper Fig 1a).
+
+"In a scale-out approach, vast amounts of data are sent over the local
+network and copied to local memory, contending for network bandwidth and
+often harming performance by thrashing memory across the compute nodes."
+
+This package implements exactly that: per-node Plasma stores with *no*
+fabric; a remote get performs an RPC lookup, streams the whole payload over
+the LAN model, and materialises a local replica (consuming local store
+capacity — the thrashing the paper describes). The comparison benchmarks
+(DESIGN.md E6) pit it against the disaggregated framework.
+"""
+
+from repro.baseline.scaleout import ScaleOutCluster, ScaleOutClient, ScaleOutStore
+
+__all__ = ["ScaleOutCluster", "ScaleOutClient", "ScaleOutStore"]

@@ -1,0 +1,104 @@
+"""Paper-style result tables with the paper's numbers alongside.
+
+The paper gives exact anchors for a subset of points; the remaining cells
+of its figures are read qualitatively (the text describes the shape). The
+formatters print measured values next to every anchor the paper states so
+EXPERIMENTS.md can record paper-vs-measured per figure.
+"""
+
+from __future__ import annotations
+
+from repro.bench.micro import SpecResult
+from repro.bench.specs import TABLE_I
+
+# Fig 6 anchors stated in §V-A (milliseconds). None = not stated in text.
+PAPER_FIG6_LOCAL_MS: dict[int, float | None] = {
+    1: 1.885,  # "1.885 ms for 1000 objects"
+    2: None,
+    3: None,
+    4: None,
+    5: None,
+    6: 0.075,  # "0.075 ms for 10 objects"
+}
+PAPER_FIG6_REMOTE_MS: dict[int, float | None] = {
+    1: 5.049,  # "5.049 ms for 1000 objects"
+    2: None,
+    3: None,
+    4: 2.624,  # "2.624 ms for 100 objects"
+    5: None,
+    6: None,
+}
+
+# Fig 7: "results stabilize at 6.5 GiB/s for local ... 5.75 GiB/s for
+# remote ... in benchmarks 4-6. Benchmarks 1-3 display more variation
+# (ranging from 5.5 to 7.1 GiB/s)".
+PAPER_FIG7_LOCAL_GIBPS = 6.5
+PAPER_FIG7_REMOTE_GIBPS = 5.75
+PAPER_FIG7_SMALL_RANGE = (5.5, 7.1)
+
+
+def format_table1() -> str:
+    """Table I exactly as printed in the paper."""
+    lines = [
+        "TABLE I: Benchmark Specifications",
+        f"{'':>3} {'Number of Objects':>18} {'Object Size (kB)':>17}",
+    ]
+    for spec in TABLE_I:
+        lines.append(
+            f"{spec.index:>3} {spec.num_objects:>18} {spec.object_size_kb:>17}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_paper(value: float | None) -> str:
+    return f"{value:8.3f}" if value is not None else "       —"
+
+
+def format_fig6(results: list[SpecResult]) -> str:
+    """Fig 6: total buffer retrieval latency per benchmark, local vs remote."""
+    lines = [
+        "Fig 6: Plasma object buffer retrieval latency (ms, mean over reps)",
+        f"{'bench':>5} {'n_obj':>6} | {'local meas':>10} {'local paper':>11} | "
+        f"{'remote meas':>11} {'remote paper':>12}",
+    ]
+    for r in results:
+        i = r.spec.index
+        lines.append(
+            f"{i:>5} {r.spec.num_objects:>6} | "
+            f"{r.local_retrieve_ms_mean:>10.3f} {_fmt_paper(PAPER_FIG6_LOCAL_MS.get(i)):>11} | "
+            f"{r.remote_retrieve_ms_mean:>11.3f} {_fmt_paper(PAPER_FIG6_REMOTE_MS.get(i)):>12}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig7(results: list[SpecResult]) -> str:
+    """Fig 7: read-throughput distributions (the paper's box plots)."""
+    lines = [
+        "Fig 7: Plasma object buffer reading throughput (GiB/s)",
+        f"  paper: local plateau ~{PAPER_FIG7_LOCAL_GIBPS}, remote plateau "
+        f"~{PAPER_FIG7_REMOTE_GIBPS} (specs 4-6); specs 1-3 range "
+        f"{PAPER_FIG7_SMALL_RANGE[0]}-{PAPER_FIG7_SMALL_RANGE[1]}",
+    ]
+    for r in results:
+        for label, timings in (("local", r.local), ("remote", r.remote)):
+            s = timings.read_gibps.summary()
+            lines.append(
+                f"  bench {r.spec.index} {label:>6}: {s.format(unit='GiB/s')}"
+            )
+    return "\n".join(lines)
+
+
+def format_create_seal(results: list[SpecResult]) -> str:
+    """E4: create+write+seal phase timing (measured, no paper anchors)."""
+    lines = [
+        "Create/write/seal phase (ms per repetition, mean)",
+        f"{'bench':>5} {'n_obj':>6} {'obj kB':>7} {'mean ms':>9} {'per-obj us':>11}",
+    ]
+    for r in results:
+        mean_ms = r.create_seal_ns.mean / 1e6
+        per_obj_us = r.create_seal_ns.mean / r.spec.num_objects / 1e3
+        lines.append(
+            f"{r.spec.index:>5} {r.spec.num_objects:>6} "
+            f"{r.spec.object_size_kb:>7} {mean_ms:>9.3f} {per_obj_us:>11.3f}"
+        )
+    return "\n".join(lines)

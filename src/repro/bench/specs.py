@@ -1,0 +1,71 @@
+"""Table I: the six microbenchmark specifications.
+
+|   | Number of Objects | Object Size (kB) |
+|---|-------------------|------------------|
+| 1 | 1000              | 1                |
+| 2 | 500               | 10               |
+| 3 | 200               | 100              |
+| 4 | 100               | 1000             |
+| 5 | 50                | 10000            |
+| 6 | 10                | 100000           |
+
+Sizes are decimal kB (1 kB = 1000 B), as the paper writes them. "The
+benchmarks test the Plasma framework with different orders of magnitude in
+object sizes and also vary the number of objects ... to mitigate any
+potential influence of caching of smaller objects." (§IV-B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KB
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of Table I."""
+
+    index: int
+    num_objects: int
+    object_size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("benchmark indices are 1-based")
+        if self.num_objects <= 0 or self.object_size_bytes <= 0:
+            raise ValueError("objects and sizes must be positive")
+
+    @property
+    def object_size_kb(self) -> int:
+        return self.object_size_bytes // KB
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_objects * self.object_size_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"benchmark {self.index}: {self.num_objects} x "
+            f"{self.object_size_kb} kB"
+        )
+
+
+TABLE_I: tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(1, 1000, 1 * KB),
+    BenchmarkSpec(2, 500, 10 * KB),
+    BenchmarkSpec(3, 200, 100 * KB),
+    BenchmarkSpec(4, 100, 1000 * KB),
+    BenchmarkSpec(5, 50, 10_000 * KB),
+    BenchmarkSpec(6, 10, 100_000 * KB),
+)
+
+# The paper's repetition count per benchmark.
+PAPER_REPETITIONS = 100
+
+
+def spec_by_index(index: int) -> BenchmarkSpec:
+    for spec in TABLE_I:
+        if spec.index == index:
+            return spec
+    raise KeyError(f"Table I has no benchmark {index}")

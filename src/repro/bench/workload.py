@@ -1,0 +1,76 @@
+"""Workload generation: objects with random data.
+
+Paper §IV-B: "The benchmarks commit Plasma objects with random data to one
+of the Plasma stores ... The data contents of the objects should not
+influence the system performance." Payloads are drawn once per spec from
+the deterministic RNG and reused across repetitions (contents don't affect
+the modelled timing; reusing the buffer keeps the harness's real wall-clock
+cost linear in bytes moved, not in RNG draws).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.specs import BenchmarkSpec
+from repro.common.rng import DeterministicRng
+
+
+@dataclass
+class WorkloadData:
+    """Reusable payload + scratch buffers for one benchmark spec."""
+
+    spec: BenchmarkSpec
+    payload: np.ndarray  # uint8, object_size bytes
+    scratch: bytearray  # read destination, object_size bytes
+
+    @property
+    def payload_view(self) -> memoryview:
+        return memoryview(self.payload)  # type: ignore[arg-type]
+
+    def expected_bytes(self) -> bytes:
+        return self.payload.tobytes()
+
+
+def make_payloads(spec: BenchmarkSpec, rng: DeterministicRng) -> WorkloadData:
+    """Random payload + scratch buffer sized for *spec*."""
+    payload = rng.payload(spec.object_size_bytes)
+    return WorkloadData(
+        spec=spec, payload=payload, scratch=bytearray(spec.object_size_bytes)
+    )
+
+
+def zipf_access_sequence(
+    rng: DeterministicRng, n_objects: int, n_accesses: int, s: float = 1.1
+) -> np.ndarray:
+    """Popularity-skewed object indices: P(rank k) ∝ 1/k^s.
+
+    Real big-data object stores see heavily skewed access (a few hot
+    partitions, a long cold tail); the lookup-cache study uses this to
+    measure hit rates beyond the uniform repeated-batch case.
+    Returns ``n_accesses`` indices in ``[0, n_objects)``.
+    """
+    if n_objects <= 0 or n_accesses <= 0:
+        raise ValueError("need positive object and access counts")
+    if s <= 0:
+        raise ValueError("zipf exponent must be positive")
+    ranks = np.arange(1, n_objects + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    weights /= weights.sum()
+    cumulative = np.cumsum(weights)
+    draws = np.frombuffer(
+        rng.bytes(n_accesses * 8), dtype=np.uint64
+    ).astype(np.float64) / float(2**64)
+    return np.searchsorted(cumulative, draws, side="right").astype(np.int64)
+
+
+def uniform_access_sequence(
+    rng: DeterministicRng, n_objects: int, n_accesses: int
+) -> np.ndarray:
+    """Uniform access indices (the contrast case for the cache study)."""
+    if n_objects <= 0 or n_accesses <= 0:
+        raise ValueError("need positive object and access counts")
+    draws = np.frombuffer(rng.bytes(n_accesses * 8), dtype=np.uint64)
+    return (draws % n_objects).astype(np.int64)

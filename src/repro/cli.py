@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``   — version, calibrated model constants, subsystem inventory.
+* ``demo``   — the quickstart flow (commit on node0, consume locally and
+  remotely, print latencies/throughput).
+* ``bench``  — run Table I microbenchmarks and print the Fig 6 / Fig 7 /
+  create-seal series with the paper's anchors alongside.
+* ``ablation`` — run one of the ablation studies (allocator, sharing,
+  cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import ClusterConfig
+from repro.common.units import GiB, MiB, format_duration_ns
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    cfg = ClusterConfig()
+    print(f"repro {repro.__version__} — memory-disaggregated object store")
+    print("calibrated model constants (repro/common/config.py):")
+    print(f"  local read bandwidth   : {cfg.local_memory.read_bandwidth_bps / GiB:.2f} GiB/s")
+    print(f"  fabric read bandwidth  : {cfg.fabric.read_bandwidth_bps / GiB:.2f} GiB/s")
+    print(f"  fabric single access   : {cfg.fabric.added_latency_ns:.0f} ns")
+    print(f"  IPC request overhead   : {cfg.ipc.request_overhead_ns / 1e3:.1f} us")
+    print(f"  IPC per object         : {cfg.ipc.per_object_ns / 1e3:.2f} us")
+    print(f"  gRPC round trip        : {cfg.rpc.round_trip_ns / 1e6:.2f} ms")
+    print(f"  default store capacity : {cfg.store.capacity_bytes / MiB:.0f} MiB")
+    print("subsystems: memory, allocator(first_fit/dlmalloc/buddy), "
+          "thymesisflow, network, rpc, plasma, core, baseline, columnar, "
+          "dataset, bench")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import Cluster
+    from repro.common.units import gib_per_s
+
+    cluster = Cluster(n_nodes=args.nodes)
+    tracer = None
+    if args.trace:
+        from repro.common.trace import Tracer
+
+        tracer = Tracer(cluster.clock)
+        for name in cluster.node_names():
+            cluster.store(name).tracer = tracer
+            for channel in cluster.node(name).channels.values():
+                channel._tracer = tracer  # noqa: SLF001 — opt-in wiring
+    producer = cluster.client("node0")
+    remote = cluster.client(f"node{args.nodes - 1}")
+    oid = cluster.new_object_id()
+    payload = bytes(args.size_mib * MiB)
+    producer.put_bytes(oid, payload)
+    print(f"committed {args.size_mib} MiB object on node0")
+    t0 = cluster.clock.now_ns
+    buf = remote.get_one(oid)
+    print(f"remote retrieval: {format_duration_ns(cluster.clock.now_ns - t0)}")
+    t0 = cluster.clock.now_ns
+    buf.charge_sequential_read()
+    elapsed = cluster.clock.now_ns - t0
+    print(
+        f"remote sequential read: {format_duration_ns(elapsed)} "
+        f"({gib_per_s(len(payload), elapsed):.2f} GiB/s; paper: ~5.75)"
+    )
+    remote.release(oid)
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote {len(tracer)} trace spans to {args.trace} "
+              f"(open in chrome://tracing or Perfetto)")
+        print(tracer.format_summary())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import MicroBenchConfig, run_spec, spec_by_index, TABLE_I
+    from repro.bench.reporting import (
+        format_create_seal,
+        format_fig6,
+        format_fig7,
+        format_table1,
+    )
+
+    if args.spec is not None:
+        specs = (spec_by_index(args.spec),)
+    else:
+        specs = TABLE_I
+    print(format_table1())
+    results = []
+    for spec in specs:
+        print(f"running {spec} x {args.reps} repetitions ...", file=sys.stderr)
+        results.append(run_spec(spec, MicroBenchConfig(repetitions=args.reps)))
+    print()
+    print(format_fig6(results))
+    print()
+    print(format_fig7(results))
+    print()
+    print(format_create_seal(results))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    if args.kind == "allocator":
+        from repro.allocator import (
+            ALLOCATOR_NAMES,
+            create_allocator,
+            fragmentation_report,
+        )
+        from repro.common.errors import OutOfMemoryError
+        from repro.common.rng import DeterministicRng
+
+        print("allocator ablation (fragmentation stress, 4 MiB arena):")
+        for name in ALLOCATOR_NAMES:
+            alloc = create_allocator(name, 4 * MiB)
+            rng = DeterministicRng(7).spawn(name)
+            live = []
+            while True:
+                try:
+                    live.append(alloc.allocate(64 + rng.integer(0, 8192)))
+                except OutOfMemoryError:
+                    break
+            for a in live[::2]:
+                alloc.free(a.offset)
+            print("  " + fragmentation_report(name, alloc).format_row())
+        return 0
+
+    from repro.common.units import KB
+    from repro.core import Cluster
+
+    cfg = ClusterConfig().with_store(capacity_bytes=128 * MiB)
+
+    def run_remote_consumption(cluster) -> float:
+        producer = cluster.client("node0")
+        consumer = cluster.client("node1")
+        ids = cluster.new_object_ids(50)
+        payload = bytes(1000 * KB)
+        for oid in ids:
+            producer.put_bytes(oid, payload)
+        t0 = cluster.clock.now_ns
+        bufs = consumer.get(ids)
+        for buf in bufs:
+            buf.charge_sequential_read()
+        for oid in ids:
+            consumer.release(oid)
+        return (cluster.clock.now_ns - t0) / 1e6
+
+    if args.kind == "sharing":
+        from repro.baseline import ScaleOutCluster
+
+        print("sharing-strategy ablation (50 x 1000 kB remote consumption):")
+        for label, kwargs in (
+            ("rpc (paper)", {}),
+            ("dmsg", {"sharing": "dmsg"}),
+            ("hashmap", {"sharing": "hashmap"}),
+            ("hybrid", {"sharing": "hybrid"}),
+        ):
+            cluster = Cluster(cfg, n_nodes=2, check_remote_uniqueness=False, **kwargs)
+            print(f"  {label:<14}: {run_remote_consumption(cluster):8.2f} ms")
+        so = ScaleOutCluster(cfg, n_nodes=2)
+        print(f"  {'scale-out':<14}: {run_remote_consumption(so):8.2f} ms")
+        return 0
+
+    if args.kind == "cache":
+        print("lookup-cache ablation (10 rounds x 20 remote objects):")
+        for label, kwargs in (
+            ("no cache", {}),
+            ("cache", {"enable_lookup_cache": True}),
+        ):
+            cluster = Cluster(cfg, n_nodes=2, check_remote_uniqueness=False, **kwargs)
+            producer = cluster.client("node0")
+            consumer = cluster.client("node1")
+            ids = cluster.new_object_ids(20)
+            for oid in ids:
+                producer.put_bytes(oid, bytes(10 * KB))
+            t0 = cluster.clock.now_ns
+            for _ in range(10):
+                bufs = consumer.get(ids)
+                for buf in bufs:
+                    buf.charge_sequential_read()
+                for oid in ids:
+                    consumer.release(oid)
+            print(f"  {label:<10}: {(cluster.clock.now_ns - t0) / 1e6:8.2f} ms")
+        return 0
+
+    raise AssertionError(f"unhandled ablation {args.kind!r}")  # pragma: no cover
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-disaggregated in-memory object store (IPDPS'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and calibrated constants")
+
+    demo = sub.add_parser("demo", help="quickstart flow on a fresh cluster")
+    demo.add_argument("--nodes", type=int, default=2)
+    demo.add_argument("--size-mib", type=int, default=32)
+    demo.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a Chrome trace of the run to PATH")
+
+    bench = sub.add_parser("bench", help="Table I microbenchmarks (Fig 6/7)")
+    bench.add_argument("--spec", type=int, choices=range(1, 7), default=None,
+                       help="run one benchmark spec (default: all six)")
+    bench.add_argument("--reps", type=int, default=20)
+
+    ablation = sub.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument("kind", choices=("allocator", "sharing", "cache"))
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "demo": _cmd_demo,
+    "bench": _cmd_bench,
+    "ablation": _cmd_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Columnar (Arrow-style) typed access on top of the object store.
+
+Plasma exists to serve the Apache Arrow ecosystem: immutable, schema-tagged,
+zero-copy columnar data shared between processes (paper §II-B: "the
+standardized format of the store eliminates serialization overhead between
+processes"). This package carries that idiom into the disaggregated store:
+
+* :func:`put_array` / :func:`get_array` — NumPy arrays as store objects;
+  dtype/shape travel in object *metadata*, payloads are raw buffers, and a
+  consumer's :class:`ArrayRef` wraps a **zero-copy read-only view** of the
+  (possibly remote) buffer — no serialization in either direction.
+* :func:`put_table` / :func:`get_table` — named-column tables: one object
+  per column plus a schema object, with column ids derived from the table
+  id so any node can address columns directly.
+"""
+
+from repro.columnar.schema import ArraySchema, column_object_id, decode_schema, encode_schema
+from repro.columnar.array import ArrayRef, get_array, put_array
+from repro.columnar.table import TableRef, get_table, put_table
+
+__all__ = [
+    "ArraySchema",
+    "encode_schema",
+    "decode_schema",
+    "column_object_id",
+    "ArrayRef",
+    "put_array",
+    "get_array",
+    "TableRef",
+    "put_table",
+    "get_table",
+]

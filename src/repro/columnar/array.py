@@ -1,0 +1,132 @@
+"""Typed array put/get over any Plasma-API client (local or disaggregated)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.columnar.schema import ArraySchema, decode_schema, encode_schema
+from repro.plasma.client import PlasmaClient
+
+
+def put_array(client: PlasmaClient, object_id: ObjectID, array: np.ndarray) -> ObjectID:
+    """Store *array* as an immutable typed object; returns its id.
+
+    The payload is the array's raw bytes (one timed write at memory
+    bandwidth); dtype/shape/order travel in metadata. Zero-dimension arrays
+    are rejected (Plasma objects cannot be empty).
+    """
+    schema = ArraySchema.of(array)
+    if schema.nbytes == 0:
+        raise ObjectStoreError("cannot store an empty array")
+    buffer = client.create(object_id, schema.nbytes, metadata=encode_schema(schema))
+    if array.flags.c_contiguous:
+        mv = memoryview(array).cast("B")
+    else:
+        # F-contiguous: serialise in the array's own memory order, matching
+        # the schema's order tag.
+        mv = memoryview(array.tobytes(order="F"))
+    buffer.write(mv)
+    client.seal(object_id)
+    client.release(object_id)
+    return object_id
+
+
+class ArrayRef:
+    """A consumer's handle: a read-only typed view plus the reference it
+    pins. Release (or use as a context manager) when done — that is what
+    lets the store's eviction policy know the array is no longer in use.
+    """
+
+    def __init__(
+        self,
+        client: PlasmaClient,
+        object_id: ObjectID,
+        array: np.ndarray,
+        buffer=None,
+        schema: ArraySchema | None = None,
+    ):
+        self._client = client
+        self._object_id = object_id
+        self._array = array
+        self._buffer = buffer
+        self._schema = schema
+        self._released = False
+
+    @property
+    def object_id(self) -> ObjectID:
+        return self._object_id
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._released:
+            raise ObjectStoreError("array reference already released")
+        return self._array
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    def copy(self) -> np.ndarray:
+        """A private mutable copy.
+
+        Unlike ``.array`` (an untimed zero-copy view), the copy streams the
+        payload through the *timed* read path — local memory or the
+        ThymesisFlow link — so dataset-style consumption is accounted like
+        any other sequential buffer read (the Fig 7 operation).
+        """
+        if self._released:
+            raise ObjectStoreError("array reference already released")
+        if self._buffer is None or self._schema is None:
+            return np.array(self._array, copy=True)
+        raw = bytearray(self._buffer.nbytes)
+        self._buffer.read_into(raw)
+        return self._schema.view(memoryview(raw)).copy()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._array = None  # type: ignore[assignment]
+            self._client.release(self._object_id)
+
+    @property
+    def is_released(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> "ArrayRef":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else f"{self._array.dtype}{self._array.shape}"
+        return f"ArrayRef({self._object_id!r}, {state})"
+
+
+def get_array(client: PlasmaClient, object_id: ObjectID) -> ArrayRef:
+    """Retrieve a typed array as a zero-copy read-only view.
+
+    Works transparently for local and remote objects; for a remote object
+    the view is backed by the ThymesisFlow aperture, so element access
+    reads remote memory directly (untimed; use ``ref.copy()`` through the
+    timed path when benchmarking reads).
+    """
+    buffer = client.get_one(object_id)
+    try:
+        schema = decode_schema(buffer.metadata)
+        if schema.nbytes != buffer.nbytes:
+            raise ObjectStoreError(
+                f"schema says {schema.nbytes} bytes but object has "
+                f"{buffer.nbytes}"
+            )
+        view = schema.view(buffer.view())
+    except Exception:
+        client.release(object_id)
+        raise
+    return ArrayRef(client, object_id, view, buffer=buffer, schema=schema)

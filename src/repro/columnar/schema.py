@@ -1,0 +1,88 @@
+"""Array schemas carried in object metadata.
+
+A schema describes how to reinterpret a raw object payload as a typed
+array: dtype string, shape, and memory order. It rides in the object's
+metadata blob (encoded with the same TLV codec the RPC layer uses, so the
+bytes that cross Lookup RPCs are self-describing too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.rpc.codec import decode_message, encode_message
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArraySchema:
+    """Enough to reconstruct an ndarray view over a flat byte buffer."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    order: str = "C"
+
+    def __post_init__(self) -> None:
+        if self.order not in ("C", "F"):
+            raise ValueError("order must be 'C' or 'F'")
+        np.dtype(self.dtype)  # raises on invalid dtype strings
+        if any(d < 0 for d in self.shape):
+            raise ValueError("negative dimensions are invalid")
+
+    @classmethod
+    def of(cls, array: np.ndarray) -> "ArraySchema":
+        if not (array.flags.c_contiguous or array.flags.f_contiguous):
+            raise ObjectStoreError(
+                "only contiguous arrays can be stored zero-copy; call "
+                "np.ascontiguousarray first"
+            )
+        order = "C" if array.flags.c_contiguous else "F"
+        return cls(dtype=array.dtype.str, shape=tuple(array.shape), order=order)
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for d in self.shape:
+            count *= d
+        return count * np.dtype(self.dtype).itemsize
+
+    def view(self, buffer) -> np.ndarray:
+        """A typed read-only ndarray over *buffer* (no copy)."""
+        flat = np.frombuffer(buffer, dtype=self.dtype)
+        return flat.reshape(self.shape, order=self.order)
+
+
+def encode_schema(schema: ArraySchema) -> bytes:
+    return encode_message(
+        {
+            "v": _SCHEMA_VERSION,
+            "kind": "array",
+            "dtype": schema.dtype,
+            "shape": list(schema.shape),
+            "order": schema.order,
+        }
+    )
+
+
+def decode_schema(metadata: bytes) -> ArraySchema:
+    if not metadata:
+        raise ObjectStoreError("object carries no schema metadata")
+    msg = decode_message(metadata)
+    if msg.get("kind") != "array" or msg.get("v") != _SCHEMA_VERSION:
+        raise ObjectStoreError(f"not an array object (metadata: {msg.get('kind')!r})")
+    return ArraySchema(
+        dtype=msg["dtype"], shape=tuple(msg["shape"]), order=msg["order"]
+    )
+
+
+def column_object_id(table_id: ObjectID, column: str) -> ObjectID:
+    """Deterministically derive a column's object id from its table's id,
+    so any node can address columns without extra lookups."""
+    digest = hashlib.sha1(table_id.binary() + b"/" + column.encode("utf-8"))
+    return ObjectID(digest.digest())

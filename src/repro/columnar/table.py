@@ -1,0 +1,107 @@
+"""Named-column tables: one object per column + a schema object.
+
+Column objects get ids derived deterministically from the table id
+(:func:`~repro.columnar.schema.column_object_id`), so consumers resolve a
+whole table with one id. The schema object's payload lists the column names
+(the TLV codec again — no ad-hoc serialization anywhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.columnar.array import ArrayRef, get_array, put_array
+from repro.columnar.schema import column_object_id
+from repro.plasma.client import PlasmaClient
+from repro.rpc.codec import decode_message, encode_message
+
+_TABLE_KIND = "table"
+
+
+def put_table(
+    client: PlasmaClient, table_id: ObjectID, columns: dict[str, np.ndarray]
+) -> ObjectID:
+    """Store a table: every column as its own typed object, plus a schema
+    object under *table_id* listing the columns.
+
+    All columns must have equal length (a table, not a bag of arrays).
+    """
+    if not columns:
+        raise ObjectStoreError("a table needs at least one column")
+    lengths = {name: len(arr) for name, arr in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ObjectStoreError(f"ragged table: column lengths {lengths}")
+    for name, array in columns.items():
+        put_array(client, column_object_id(table_id, name), array)
+    manifest = encode_message(
+        {"kind": _TABLE_KIND, "columns": list(columns.keys()), "rows": len(next(iter(columns.values())))}
+    )
+    buffer = client.create(table_id, len(manifest), metadata=b"")
+    buffer.write(manifest)
+    client.seal(table_id)
+    client.release(table_id)
+    return table_id
+
+
+class TableRef:
+    """Zero-copy views of every column; releases all references at once."""
+
+    def __init__(self, refs: dict[str, ArrayRef], rows: int):
+        self._refs = refs
+        self._rows = rows
+        self._released = False
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._refs)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    def column(self, name: str) -> np.ndarray:
+        if self._released:
+            raise ObjectStoreError("table reference already released")
+        try:
+            return self._refs[name].array
+        except KeyError:
+            raise ObjectStoreError(
+                f"no column {name!r}; table has {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return {name: self.column(name) for name in self._refs}
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            for ref in self._refs.values():
+                ref.release()
+
+    def __enter__(self) -> "TableRef":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def get_table(client: PlasmaClient, table_id: ObjectID) -> TableRef:
+    """Resolve a table by id: read the manifest, then view every column."""
+    manifest_bytes = client.get_bytes(table_id)
+    manifest = decode_message(manifest_bytes)
+    if manifest.get("kind") != _TABLE_KIND:
+        raise ObjectStoreError(f"{table_id!r} is not a table object")
+    refs: dict[str, ArrayRef] = {}
+    try:
+        for name in manifest["columns"]:
+            refs[name] = get_array(client, column_object_id(table_id, name))
+    except Exception:
+        for ref in refs.values():
+            ref.release()
+        raise
+    return TableRef(refs, rows=int(manifest["rows"]))

@@ -1,0 +1,99 @@
+"""Simulated time.
+
+The paper's performance numbers come from POWER9 servers with OpenCAPI FPGAs;
+this reproduction runs on commodity hardware, so *simulated* nanoseconds are
+the unit of performance. Every modelled component (memory fabric, LAN, RPC)
+advances a shared :class:`SimClock` by the time its calibrated cost model
+says the operation takes; benchmark harnesses read elapsed simulated time to
+regenerate the paper's latency/throughput series deterministically.
+
+Data movement itself is real (bytes are physically copied), only the *cost*
+is modelled — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+NS_PER_S = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+class SimClock:
+    """A monotonically advancing simulated-nanosecond counter.
+
+    A cluster owns one clock; every node, link and RPC channel in that
+    cluster advances it. The single-clock model matches the paper's
+    benchmarks, which are single-threaded: at any instant exactly one
+    modelled operation is in flight, so a scalar counter is an exact account
+    of elapsed time.
+    """
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_ns = int(start_ns)
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds since simulation start."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        return self._now_ns / NS_PER_S
+
+    def advance(self, delta_ns: float) -> int:
+        """Advance the clock by *delta_ns* (fractional ns are accumulated by
+        rounding half-up at each step; cost models produce floats).
+
+        Returns the new time. Negative deltas are rejected — simulated time
+        never flows backwards.
+        """
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_ns} ns")
+        self._now_ns += int(round(delta_ns))
+        return self._now_ns
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now_ns} ns)"
+
+
+class Stopwatch:
+    """Measures an interval of simulated time against a :class:`SimClock`.
+
+    Usage::
+
+        sw = Stopwatch(clock).start()
+        ...  # modelled operations advance the clock
+        elapsed = sw.stop()     # simulated ns
+    """
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self._start_ns: int | None = None
+        self._elapsed_ns: int | None = None
+
+    def start(self) -> "Stopwatch":
+        self._start_ns = self._clock.now_ns
+        self._elapsed_ns = None
+        return self
+
+    def stop(self) -> int:
+        if self._start_ns is None:
+            raise RuntimeError("stopwatch was never started")
+        self._elapsed_ns = self._clock.now_ns - self._start_ns
+        return self._elapsed_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self._elapsed_ns is None:
+            raise RuntimeError("stopwatch not stopped yet")
+        return self._elapsed_ns
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

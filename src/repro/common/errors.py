@@ -1,0 +1,110 @@
+"""Exception hierarchy for the framework.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch framework failures with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+# ---------------------------------------------------------------------------
+# Memory / allocation
+# ---------------------------------------------------------------------------
+
+
+class AllocationError(ReproError):
+    """An allocator could not satisfy a request for a structural reason
+    (bad size, double free, unknown block...)."""
+
+
+class OutOfMemoryError(AllocationError):
+    """The managed region has no free range large enough for the request."""
+
+    def __init__(self, requested: int, largest_free: int, total_free: int):
+        self.requested = requested
+        self.largest_free = largest_free
+        self.total_free = total_free
+        super().__init__(
+            f"cannot allocate {requested} bytes: largest free run is "
+            f"{largest_free} bytes ({total_free} bytes free in total)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Object store
+# ---------------------------------------------------------------------------
+
+
+class ObjectStoreError(ReproError):
+    """Base class for Plasma object-store errors."""
+
+
+class ObjectExistsError(ObjectStoreError):
+    """An object with this id already exists (locally or on a peer store)."""
+
+
+class ObjectNotFoundError(ObjectStoreError):
+    """No object with this id exists anywhere the store can see."""
+
+
+class ObjectNotSealedError(ObjectStoreError):
+    """The object exists but has not been sealed; it cannot be read yet."""
+
+
+class ObjectSealedError(ObjectStoreError):
+    """The object is sealed and therefore immutable; it cannot be written."""
+
+
+class ObjectInUseError(ObjectStoreError):
+    """The operation requires the object to be unused, but a client still
+    holds a reference to its buffer."""
+
+
+# ---------------------------------------------------------------------------
+# Disaggregation fabric
+# ---------------------------------------------------------------------------
+
+
+class FabricError(ReproError):
+    """Base class for ThymesisFlow fabric errors."""
+
+
+class ApertureError(FabricError):
+    """An access fell outside every mapped aperture, or an aperture mapping
+    was invalid (overlap, unknown home node, out-of-range window)."""
+
+
+# ---------------------------------------------------------------------------
+# Network / RPC
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for LAN-model errors."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer endpoint of a connection has been closed."""
+
+
+class RpcError(ReproError):
+    """Base class for RPC-layer errors."""
+
+
+class RpcStatusError(RpcError):
+    """A unary call completed with a non-OK status.
+
+    Mirrors gRPC's status-code model: the server handler maps exceptions to a
+    status code + detail message, and the client-side stub re-raises them as
+    this exception.
+    """
+
+    def __init__(self, code: "object", detail: str = ""):
+        self.code = code
+        self.detail = detail
+        super().__init__(f"RPC failed with status {code}: {detail}")

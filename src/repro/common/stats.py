@@ -1,0 +1,220 @@
+"""Streaming statistics and distribution summaries.
+
+Figure 7 of the paper is a box plot of per-repetition throughput; the bench
+harness reproduces it as printed distribution summaries. `RunningStats`
+(Welford's algorithm) gives numerically stable mean/variance for long
+streams; `Distribution` keeps raw samples for quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class RunningStats:
+    """Welford online mean/variance with min/max tracking."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Chan et al. parallel merge of two streams."""
+        out = RunningStats()
+        if self._n == 0:
+            out._n, out._mean, out._m2 = other._n, other._mean, other._m2
+            out._min, out._max = other._min, other._max
+            return out
+        if other._n == 0:
+            out._n, out._mean, out._m2 = self._n, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        out._n = n
+        out._mean = self._mean + delta * other._n / n
+        out._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+
+class Distribution:
+    """Raw-sample distribution with box-plot quantiles.
+
+    Keeps every sample (benchmark repetition counts are small — the paper
+    uses 100 reps per benchmark) so exact quantiles are available.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def add(self, x: float) -> None:
+        self._samples.append(float(x))
+        self._sorted = None
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile, q in [0, 1]."""
+        if not self._samples:
+            raise ValueError("no samples")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        xs = self._ordered()
+        pos = q * (len(xs) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi or xs[lo] == xs[hi]:
+            return xs[lo]
+        # x_lo + f*(x_hi - x_lo) rather than the two-product form: IEEE
+        # multiplication is monotone in f, so quantiles never invert by a
+        # rounding ulp.
+        frac = pos - lo
+        return xs[lo] + frac * (xs[hi] - xs[lo])
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def min(self) -> float:
+        return self._ordered()[0]
+
+    @property
+    def max(self) -> float:
+        return self._ordered()[-1]
+
+    def iqr(self) -> tuple[float, float]:
+        """(Q1, Q3) — the box of a box plot."""
+        return self.quantile(0.25), self.quantile(0.75)
+
+    def summary(self) -> "DistributionSummary":
+        q1, q3 = self.iqr()
+        return DistributionSummary(
+            count=self.count,
+            mean=self.mean,
+            median=self.median,
+            q1=q1,
+            q3=q3,
+            min=self.min,
+            max=self.max,
+        )
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """The five-number summary (plus mean/count) a box plot renders."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    min: float
+    max: float
+
+    def format(self, unit: str = "", scale: float = 1.0) -> str:
+        u = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} median={self.median * scale:.3f}{u} "
+            f"IQR=[{self.q1 * scale:.3f}, {self.q3 * scale:.3f}]{u} "
+            f"range=[{self.min * scale:.3f}, {self.max * scale:.3f}]{u}"
+        )
+
+
+@dataclass
+class Counter:
+    """A named bag of monotonically increasing counters.
+
+    Used by stores/links for operational metrics (objects created, bytes
+    read over the fabric, RPCs served...).
+    """
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.values)

@@ -1,0 +1,155 @@
+"""Simulated-time tracing.
+
+A :class:`Tracer` records spans (category, name, start, duration in
+simulated ns) against the cluster's :class:`~repro.common.clock.SimClock`.
+Instrumentation is opt-in — pass ``tracer=Tracer(clock)`` to
+:class:`~repro.core.cluster.Cluster` — and exports to the Chrome trace
+format (``chrome://tracing`` / Perfetto), which makes latency breakdowns
+like Fig 6's "dominated by gRPC" claim directly visible on a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.clock import SimClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span of simulated time."""
+
+    category: str
+    name: str
+    start_ns: int
+    duration_ns: int
+    track: str = ""  # node / channel the span ran on
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded in-memory span recorder."""
+
+    def __init__(self, clock: SimClock, max_events: int = 100_000):
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self._clock = clock
+        self._max = max_events
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------------
+
+    class _Span:
+        __slots__ = ("_tracer", "_category", "_name", "_track", "_args", "_start")
+
+        def __init__(self, tracer, category, name, track, args):
+            self._tracer = tracer
+            self._category = category
+            self._name = name
+            self._track = track
+            self._args = args
+            self._start = None
+
+        def __enter__(self):
+            self._start = self._tracer._clock.now_ns
+            return self
+
+        def __exit__(self, *exc):
+            self._tracer._record(
+                TraceEvent(
+                    category=self._category,
+                    name=self._name,
+                    start_ns=self._start,
+                    duration_ns=self._tracer._clock.now_ns - self._start,
+                    track=self._track,
+                    args=self._args,
+                )
+            )
+
+    def span(self, category: str, name: str, track: str = "", **args) -> "_Span":
+        """Context manager measuring the enclosed simulated time."""
+        return Tracer._Span(self, category, name, track, args)
+
+    def instant(self, category: str, name: str, track: str = "", **args) -> None:
+        """A zero-duration marker."""
+        self._record(
+            TraceEvent(
+                category=category,
+                name=name,
+                start_ns=self._clock.now_ns,
+                duration_ns=0,
+                track=track,
+                args=args,
+            )
+        )
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self._events) >= self._max:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    # -- introspection ------------------------------------------------------------
+
+    def events(self, category: str | None = None) -> list[TraceEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def total_ns(self, category: str) -> int:
+        return sum(e.duration_ns for e in self._events if e.category == category)
+
+    def summary(self) -> dict[tuple[str, str], dict]:
+        """Per (category, name): count and total simulated duration."""
+        out: dict[tuple[str, str], dict] = {}
+        for event in self._events:
+            key = (event.category, event.name)
+            row = out.setdefault(key, {"count": 0, "total_ns": 0})
+            row["count"] += 1
+            row["total_ns"] += event.duration_ns
+        return out
+
+    def format_summary(self) -> str:
+        lines = [f"{'category':<12} {'name':<24} {'count':>7} {'total ms':>10}"]
+        for (category, name), row in sorted(
+            self.summary().items(), key=lambda kv: -kv[1]["total_ns"]
+        ):
+            lines.append(
+                f"{category:<12} {name:<24} {row['count']:>7} "
+                f"{row['total_ns'] / 1e6:>10.3f}"
+            )
+        return "\n".join(lines)
+
+    # -- export --------------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON structure (complete 'X' events,
+        timestamps in microseconds, one pid per track)."""
+        trace_events = []
+        for event in self._events:
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "cat": event.category,
+                    "name": event.name,
+                    "ts": event.start_ns / 1e3,
+                    "dur": event.duration_ns / 1e3,
+                    "pid": event.track or "sim",
+                    "tid": event.category,
+                    "args": event.args,
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh)

@@ -1,0 +1,116 @@
+"""The client of a disaggregated store.
+
+API-identical to :class:`~repro.plasma.client.PlasmaClient` — that is the
+framework's selling point: "the distributed nature can largely remain
+hidden to Plasma clients" (paper §IV-A2). ``get`` transparently returns
+local or ThymesisFlow-backed buffers; ``release`` routes to local refcounts
+or cross-node release as appropriate.
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import ObjectID
+from repro.core.store import DisaggregatedStore
+from repro.network.ipc import IpcChannel
+from repro.plasma.buffer import PlasmaBuffer
+from repro.plasma.client import PlasmaClient
+from repro.plasma.notifications import SealNotification
+
+
+class RemoteSubscription:
+    """A polled cross-node notification feed.
+
+    Each :meth:`poll` is one RPC to the home store returning everything
+    sealed/deleted there since the previous poll.
+    """
+
+    def __init__(self, stub, subscription_id: int, home: str):
+        self._stub = stub
+        self._id = subscription_id
+        self._home = home
+
+    @property
+    def home(self) -> str:
+        return self._home
+
+    def poll(self) -> list[SealNotification]:
+        response = self._stub.PollNotifications({"subscription": self._id})
+        return [
+            SealNotification(
+                object_id=ObjectID(n["object_id"]),
+                data_size=int(n["data_size"]),
+                deleted=bool(n["deleted"]),
+            )
+            for n in response.get("notifications", [])
+        ]
+
+
+class DisaggregatedClient(PlasmaClient):
+    """A Plasma client whose local store is part of a disaggregated mesh."""
+
+    def __init__(self, name: str, store: DisaggregatedStore, ipc: IpcChannel):
+        super().__init__(name, store, ipc)
+
+    @property
+    def store(self) -> DisaggregatedStore:
+        return self._store  # type: ignore[return-value]
+
+    def get(
+        self, object_ids: list[ObjectID], allow_missing: bool = False
+    ) -> list[PlasmaBuffer]:
+        """Retrieve sealed buffers wherever they live.
+
+        One IPC round trip to the local store; the store performs any
+        peer Lookup RPCs and aperture wiring (those costs are charged by
+        the store's channel and the fabric respectively). With
+        ``allow_missing=True``, ids that resolve nowhere yield ``None``.
+        """
+        if not object_ids:
+            return []
+        self._ipc.charge_request(nobjects=len(object_ids))
+        buffers = self._store.get_buffers(object_ids, allow_missing=allow_missing)
+        for buffer in buffers:
+            if buffer is not None:
+                self._held.setdefault(buffer.object_id, []).append(buffer)
+        self.counters.inc("gets", len(object_ids))
+        return buffers
+
+    def _release_store_ref(self, object_id: ObjectID) -> None:
+        self.store.release_object(object_id)
+
+    def subscribe_remote(self, peer_name: str) -> RemoteSubscription:
+        """Subscribe to a *peer* store's seal/delete notifications.
+
+        The local store's notification socket only announces local events;
+        this is the RPC-based cross-node feed (§V-B's "additional RPC
+        functionality").
+        """
+        handle = self.store.peer(peer_name)
+        response = handle.stub.Subscribe({})
+        return RemoteSubscription(
+            handle.stub, int(response["subscription"]), peer_name
+        )
+
+    def put_batch(
+        self, items: list[tuple[ObjectID, object]], metadata: bytes = b""
+    ) -> list[ObjectID]:
+        """Bulk commit with one batched uniqueness check (reserve_ids)
+        instead of a Contains RPC per object — the amortised producer path.
+        """
+        ids = [oid for oid, _ in items]
+        self.store.reserve_ids(ids)
+        out: list[ObjectID] = []
+        for oid, data in items:
+            mv = memoryview(data)
+            if mv.ndim != 1 or mv.itemsize != 1:
+                mv = mv.cast("B")
+            self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+            entry = self._store.create_object_unchecked(oid, len(mv), metadata)
+            self._store.add_ref(oid)
+            buffer = self._store.local_buffer(entry)
+            self._held.setdefault(oid, []).append(buffer)
+            buffer.write(mv)
+            self.seal(oid)
+            self.release(oid)
+            out.append(oid)
+        return out

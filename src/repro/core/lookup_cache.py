@@ -1,0 +1,72 @@
+"""Remote-lookup cache (paper future work, implemented).
+
+§V-B: "a caching mechanism for previously requested remote objects could be
+implemented. This would increase the performance of repeated requests for
+identifiers ... This caching would require caution with tracking object
+usage by remote clients for the eviction policy and could result in
+corrupted object buffers if not handled carefully."
+
+The cache maps object id -> (home store, descriptor) so a repeated request
+skips the gRPC round trip entirely. The "careful handling": home stores
+push ``NotifyDeleted`` RPCs on delete/evict, which
+:meth:`LookupCache.invalidate` consumes; and entries are only trusted for
+*pinned* objects when reference sharing is enabled (otherwise a hit still
+revalidates nothing and eviction can invalidate it — the benchmark
+``test_lookup_cache`` shows both the win and the hazard).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.ids import ObjectID
+from repro.core.remote import RemoteObjectRecord
+
+
+class LookupCache:
+    """Bounded LRU of remote-object descriptors."""
+
+    def __init__(self, max_entries: int = 100_000):
+        if max_entries <= 0:
+            raise ValueError("cache must hold at least one entry")
+        self._max = max_entries
+        self._entries: OrderedDict[ObjectID, RemoteObjectRecord] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, object_id: ObjectID) -> RemoteObjectRecord | None:
+        record = self._entries.get(object_id)
+        if record is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(object_id)
+        self.hits += 1
+        return record
+
+    def put(self, record: RemoteObjectRecord) -> None:
+        self._entries[record.object_id] = record
+        self._entries.move_to_end(record.object_id)
+        while len(self._entries) > self._max:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, object_id: ObjectID) -> bool:
+        if object_id in self._entries:
+            del self._entries[object_id]
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: ObjectID) -> bool:
+        return object_id in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

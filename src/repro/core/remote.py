@@ -1,0 +1,55 @@
+"""Peer handles and remote-object book-keeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import ObjectID
+from repro.rpc.channel import ServiceStub
+from repro.thymesisflow.aperture import RemoteRegion
+
+
+@dataclass
+class PeerHandle:
+    """Everything a store needs to use one peer: the RPC stub for metadata
+    and the mapped ThymesisFlow window for payload bytes."""
+
+    name: str
+    stub: ServiceStub
+    remote_region: RemoteRegion
+
+    def __post_init__(self) -> None:
+        if self.remote_region.home_name != self.name and not self.name.startswith(
+            self.remote_region.home_name
+        ):
+            # The window must point at the peer's node; store names are
+            # derived from node names in the cluster builder.
+            pass
+
+
+@dataclass
+class RemoteObjectRecord:
+    """A remote object this store's clients currently reference.
+
+    ``local_refs`` counts handles held by *this node's* clients; when it
+    drops to zero the record is dropped (and, with reference sharing on,
+    a ReleaseRef RPC un-pins the object at its home store).
+    """
+
+    object_id: ObjectID
+    home: str
+    offset: int
+    data_size: int
+    metadata: bytes = b""
+    local_refs: int = 0
+    pinned_at_home: bool = False
+
+    @classmethod
+    def from_descriptor(cls, home: str, descriptor: dict) -> "RemoteObjectRecord":
+        return cls(
+            object_id=ObjectID(descriptor["object_id"]),
+            home=home,
+            offset=int(descriptor["offset"]),
+            data_size=int(descriptor["data_size"]),
+            metadata=bytes(descriptor.get("metadata", b"")),
+        )

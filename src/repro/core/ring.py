@@ -1,0 +1,145 @@
+"""Single-producer/single-consumer rings in disaggregated memory.
+
+The transport primitive for the paper's §IV-A2 approach (2), "messaging via
+disaggregated memory". The design works *with* the Fig 3 coherency
+asymmetry instead of fighting it:
+
+* each direction of a channel gets its own ring, placed in the **sender's**
+  exposed region;
+* the sender only ever writes **its own local memory** (always coherent for
+  remote readers, Fig 3a);
+* the receiver only ever **reads remotely** (coherent by OpenCAPI) — no
+  node ever writes remote memory, so the Fig 3b staleness trap can't fire.
+
+Layout of a ring region::
+
+    [ u64 head (total bytes ever published) | data area of `capacity` bytes ]
+
+Messages are ``u32 length | payload`` records written circularly into the
+data area. The writer has no view of reader progress (feedback would
+require a remote write); flow control is the protocol's job — the unary
+request/response pattern used by :class:`~repro.core.dmsg.DmsgChannel`
+keeps at most one frame in flight per direction, so the only hard limit is
+``max message <= capacity``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import ObjectStoreError
+from repro.memory.host import MemoryRegion
+from repro.thymesisflow.aperture import RemoteRegion
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+HEADER_BYTES = 8
+_LEN = struct.Struct(">I")
+
+
+def ring_bytes(capacity: int) -> int:
+    """Region bytes needed for a ring with *capacity* data bytes."""
+    if capacity <= _LEN.size:
+        raise ValueError("ring capacity too small")
+    return HEADER_BYTES + capacity
+
+
+class RingWriter:
+    """The local (sender) side: timed local writes into the own exposed
+    region."""
+
+    def __init__(self, endpoint: ThymesisEndpoint, region: MemoryRegion):
+        if region.memory is not endpoint.memory:
+            raise ValueError("ring region must live in the writer's memory")
+        if region.size <= HEADER_BYTES + _LEN.size:
+            raise ValueError("ring region too small")
+        self._ep = endpoint
+        self._region = region
+        self._capacity = region.size - HEADER_BYTES
+        self._head = 0
+        # Initialise the header so readers starting later see head=0.
+        region.write(0, struct.pack(">Q", 0))
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def head(self) -> int:
+        return self._head
+
+    def _write_circular(self, pos: int, payload: bytes) -> None:
+        offset = pos % self._capacity
+        first = min(len(payload), self._capacity - offset)
+        abs_base = self._region.absolute(0) + HEADER_BYTES
+        self._ep.local_write(abs_base + offset, payload[:first])
+        if first < len(payload):
+            self._ep.local_write(abs_base, payload[first:])
+
+    def publish(self, payload: bytes) -> int:
+        """Append one message; returns the new head. The message must fit
+        in the ring (protocol-level flow control keeps readers caught up)."""
+        frame = _LEN.pack(len(payload)) + bytes(payload)
+        if len(frame) > self._capacity:
+            raise ObjectStoreError(
+                f"message of {len(payload)} bytes exceeds ring capacity "
+                f"{self._capacity - _LEN.size}"
+            )
+        self._write_circular(self._head, frame)
+        self._head += len(frame)
+        # Publish the new head last (release ordering: data before flag).
+        self._ep.local_write(self._region.absolute(0), struct.pack(">Q", self._head))
+        return self._head
+
+
+class RingReader:
+    """The remote (receiver) side: timed fabric loads/reads, never writes."""
+
+    def __init__(self, remote: RemoteRegion, base_offset: int, region_size: int):
+        if region_size <= HEADER_BYTES + _LEN.size:
+            raise ValueError("ring region too small")
+        self._remote = remote
+        self._base = base_offset
+        self._capacity = region_size - HEADER_BYTES
+        self._tail = 0
+        self.polls = 0
+        self.messages = 0
+
+    @property
+    def tail(self) -> int:
+        return self._tail
+
+    def _read_circular(self, pos: int, size: int) -> bytes:
+        offset = pos % self._capacity
+        data_base = self._base + HEADER_BYTES
+        first = min(size, self._capacity - offset)
+        out = self._remote.read(data_base + offset, first)
+        if first < size:
+            out += self._remote.read(data_base, size - first)
+        return out
+
+    def peek_head(self) -> int:
+        """One unpipelined fabric load of the publication counter."""
+        self.polls += 1
+        return struct.unpack(">Q", self._remote.load(self._base, HEADER_BYTES))[0]
+
+    def poll(self) -> list[bytes]:
+        """Drain every message published since the last poll."""
+        head = self.peek_head()
+        if head < self._tail:
+            raise ObjectStoreError("ring head went backwards (corrupt ring)")
+        if head - self._tail > self._capacity:
+            raise ObjectStoreError(
+                "reader lost messages: ring overwrote unread data "
+                f"(tail={self._tail}, head={head}, capacity={self._capacity})"
+            )
+        out: list[bytes] = []
+        while self._tail < head:
+            (length,) = _LEN.unpack(self._read_circular(self._tail, _LEN.size))
+            if length == 0:
+                payload = b""  # zero-length messages are legal frames
+            else:
+                payload = self._read_circular(self._tail + _LEN.size, length)
+            out.append(payload)
+            self._tail += _LEN.size + length
+            self.messages += 1
+        return out

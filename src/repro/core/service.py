@@ -1,0 +1,127 @@
+"""The RPC service every disaggregated store exposes to its peers.
+
+Paper §IV-A2: "upon a client request for a remote object, the local Plasma
+store makes an RPC call to look up the object identifier(s) in the remote
+store ... Similarly, on object creation, RPC calls are used to ensure the
+uniqueness of object identifiers."
+
+Methods:
+
+* ``Lookup``   — batched id -> sealed-object descriptors (offset within the
+  exposed region, size, metadata), the heart of remote retrieval.
+* ``Contains`` — batched existence check for id-uniqueness at creation.
+* ``AddRef`` / ``ReleaseRef`` — the distributed object-usage-sharing
+  extension (paper future work): a peer declares that its clients are using
+  one of our objects, pinning it against eviction.
+* ``NotifyDeleted`` — home-store push used to invalidate peers' lookup
+  caches (paper future work: caching "could result in corrupted object
+  buffers if not handled carefully" — this is the careful handling).
+
+Every handler runs under the store's object-table mutex, modelling the
+paper's gRPC-server-thread / main-thread contention point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.ids import ObjectID
+from repro.rpc.service import Service, rpc_method
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.store import DisaggregatedStore
+
+
+class StoreService(Service):
+    SERVICE_NAME = "plasma.StoreService"
+
+    def __init__(self, store: "DisaggregatedStore"):
+        self._store = store
+
+    def _ids_from(self, request: dict, key: str = "object_ids") -> list[ObjectID]:
+        raw = request.get(key)
+        if not isinstance(raw, list) or not raw:
+            raise ValueError(f"request field {key!r} must be a non-empty list")
+        return [ObjectID(item) for item in raw]
+
+    @rpc_method
+    def Lookup(self, request: dict) -> dict:
+        """Return descriptors for every requested id sealed in this store."""
+        object_ids = self._ids_from(request)
+        found: list[dict] = []
+        with self._store.table.lock:
+            for oid in object_ids:
+                descriptor = self._store.lookup_descriptor(oid)
+                if descriptor is not None:
+                    found.append(descriptor)
+        return {"found": found, "store": self._store.name}
+
+    @rpc_method
+    def Contains(self, request: dict) -> dict:
+        """Batched existence check (unsealed objects count: their ids are
+        reserved the moment they are created)."""
+        object_ids = self._ids_from(request)
+        with self._store.table.lock:
+            present = [self._store.contains(oid) for oid in object_ids]
+        return {"present": present}
+
+    @rpc_method
+    def AddRef(self, request: dict) -> dict:
+        """A peer's client started using one of our objects: pin it."""
+        object_ids = self._ids_from(request)
+        with self._store.table.lock:
+            for oid in object_ids:
+                self._store.add_ref(oid, remote=True)
+        return {}
+
+    @rpc_method
+    def ReleaseRef(self, request: dict) -> dict:
+        """A peer's client stopped using one of our objects."""
+        object_ids = self._ids_from(request)
+        with self._store.table.lock:
+            for oid in object_ids:
+                self._store.release_ref(oid, remote=True)
+        return {}
+
+    @rpc_method
+    def NotifyDeleted(self, request: dict) -> dict:
+        """The calling peer deleted/evicted objects we may have cached."""
+        object_ids = self._ids_from(request)
+        self._store.invalidate_cached_lookups(object_ids)
+        return {}
+
+    @rpc_method
+    def Subscribe(self, request: dict) -> dict:
+        """Register a cross-node notification subscription; the caller
+        polls it with PollNotifications (the RPC realisation of the
+        "additional RPC functionality" §V-B suggests for store feedback)."""
+        return {"subscription": self._store.create_subscription()}
+
+    @rpc_method
+    def PollNotifications(self, request: dict) -> dict:
+        sub_id = request.get("subscription")
+        if not isinstance(sub_id, int):
+            raise ValueError("subscription id required")
+        notes = self._store.poll_subscription(sub_id)
+        return {
+            "notifications": [
+                {
+                    "object_id": n.object_id.binary(),
+                    "data_size": n.data_size,
+                    "deleted": n.deleted,
+                }
+                for n in notes
+            ]
+        }
+
+    @rpc_method
+    def Stats(self, request: dict) -> dict:
+        """Operational snapshot (used by examples and debugging, not by any
+        hot path)."""
+        return {
+            "store": self._store.name,
+            "node": self._store.node,
+            "objects": self._store.object_count(),
+            "used_bytes": self._store.used_bytes,
+            "capacity_bytes": self._store.capacity_bytes,
+        }

@@ -1,0 +1,169 @@
+"""The "shared data structure in disaggregated memory" sharing approach.
+
+Paper §IV-A2 enumerates three ways stores could share object information:
+(1) a shared data structure in disaggregated memory, (2) messaging via
+disaggregated memory, (3) LAN/gRPC. The paper picks (3); this module
+implements (1) so the trade-off can actually be measured (ablation E6 in
+DESIGN.md):
+
+* the home store maintains an open-addressed hash directory *inside its
+  exposed region*, mapping object id -> (offset, size) for sealed objects;
+* a remote store resolves an id by hashing it and issuing single-line
+  ThymesisFlow loads per probe — no RPC round trip, just ~1.1 us per probe;
+* exactly as the paper warns, it is one-way: the home store learns nothing
+  about remote usage (no eviction feedback), and a remote *write* into the
+  directory would hit the Fig 3b staleness trap — so readers never write.
+
+Each bucket is one 64-byte cache line:
+``state(1) | object_id(20) | offset(8) | data_size(8) | pad(27)``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.memory.host import MemoryRegion
+from repro.thymesisflow.aperture import RemoteRegion
+
+BUCKET_SIZE = 64
+_STATE_EMPTY = 0
+_STATE_FULL = 1
+_STATE_TOMBSTONE = 2
+_PACK = ">B20sQQ"  # state, id, offset, size
+_PACK_LEN = struct.calcsize(_PACK)
+assert _PACK_LEN <= BUCKET_SIZE
+
+
+def directory_bytes(nbuckets: int) -> int:
+    """Region bytes needed for a directory of *nbuckets*."""
+    if nbuckets <= 0:
+        raise ValueError("directory needs at least one bucket")
+    return nbuckets * BUCKET_SIZE
+
+
+def _bucket_of(object_id: ObjectID, nbuckets: int) -> int:
+    return int.from_bytes(object_id.binary()[:8], "big") % nbuckets
+
+
+class DisaggregatedHashMap:
+    """Home-side view: lives in (a prefix of) the home's exposed region.
+
+    Home-side mutations are plain local writes (the home node owns the
+    memory; remote readers see them coherently per Fig 3a).
+    """
+
+    def __init__(self, region: MemoryRegion, nbuckets: int):
+        needed = directory_bytes(nbuckets)
+        if region.size < needed:
+            raise ObjectStoreError(
+                f"directory needs {needed} B, region has {region.size} B"
+            )
+        self._region = region
+        self._nbuckets = nbuckets
+        self._count = 0
+
+    @property
+    def nbuckets(self) -> int:
+        return self._nbuckets
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self._nbuckets
+
+    def _read_bucket(self, index: int) -> tuple[int, bytes, int, int]:
+        raw = self._region.read(index * BUCKET_SIZE, _PACK_LEN)
+        return struct.unpack(_PACK, raw)
+
+    def _write_bucket(
+        self, index: int, state: int, oid: bytes, offset: int, size: int
+    ) -> None:
+        self._region.write(
+            index * BUCKET_SIZE, struct.pack(_PACK, state, oid, offset, size)
+        )
+
+    def insert(self, object_id: ObjectID, offset: int, data_size: int) -> None:
+        """Publish a sealed object. Raises when the table is full."""
+        if self._count >= self._nbuckets:
+            raise ObjectStoreError("disaggregated directory is full")
+        oid = object_id.binary()
+        index = _bucket_of(object_id, self._nbuckets)
+        for _ in range(self._nbuckets):
+            state, existing, _, _ = self._read_bucket(index)
+            if state == _STATE_FULL and existing == oid:
+                raise ObjectStoreError(f"{object_id!r} already in directory")
+            if state in (_STATE_EMPTY, _STATE_TOMBSTONE):
+                self._write_bucket(index, _STATE_FULL, oid, offset, data_size)
+                self._count += 1
+                return
+            index = (index + 1) % self._nbuckets
+        raise ObjectStoreError("disaggregated directory is full")
+
+    def remove(self, object_id: ObjectID) -> bool:
+        """Unpublish (on delete/evict). Returns whether it was present."""
+        oid = object_id.binary()
+        index = _bucket_of(object_id, self._nbuckets)
+        for _ in range(self._nbuckets):
+            state, existing, _, _ = self._read_bucket(index)
+            if state == _STATE_EMPTY:
+                return False
+            if state == _STATE_FULL and existing == oid:
+                self._write_bucket(index, _STATE_TOMBSTONE, b"\x00" * 20, 0, 0)
+                self._count -= 1
+                return True
+            index = (index + 1) % self._nbuckets
+        return False
+
+    def local_lookup(self, object_id: ObjectID) -> tuple[int, int] | None:
+        """(offset, size) if published — untimed, home-side."""
+        oid = object_id.binary()
+        index = _bucket_of(object_id, self._nbuckets)
+        for _ in range(self._nbuckets):
+            state, existing, offset, size = self._read_bucket(index)
+            if state == _STATE_EMPTY:
+                return None
+            if state == _STATE_FULL and existing == oid:
+                return offset, size
+            index = (index + 1) % self._nbuckets
+        return None
+
+
+class RemoteHashMapReader:
+    """Remote-side view: resolves ids with timed single-line fabric loads.
+
+    *base_offset* is where the directory starts within the home's exposed
+    region (the cluster builder places it at offset 0).
+    """
+
+    def __init__(self, remote: RemoteRegion, base_offset: int, nbuckets: int):
+        if nbuckets <= 0:
+            raise ValueError("directory needs at least one bucket")
+        self._remote = remote
+        self._base = base_offset
+        self._nbuckets = nbuckets
+        self.probes = 0
+        self.lookups = 0
+
+    def lookup(self, object_id: ObjectID) -> tuple[int, int] | None:
+        """(offset, size) of a published object, or None. Each probe is one
+        ~1.1 us unpipelined fabric load of a 64-byte line."""
+        oid = object_id.binary()
+        index = _bucket_of(object_id, self._nbuckets)
+        self.lookups += 1
+        for _ in range(self._nbuckets):
+            raw = self._remote.load(
+                self._base + index * BUCKET_SIZE, _PACK_LEN
+            )
+            self.probes += 1
+            state, existing, offset, size = struct.unpack(_PACK, raw)
+            if state == _STATE_EMPTY:
+                return None
+            if state == _STATE_FULL and existing == oid:
+                return offset, size
+            index = (index + 1) % self._nbuckets
+        return None

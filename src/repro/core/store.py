@@ -1,0 +1,494 @@
+"""The memory-disaggregated Plasma store (paper §IV).
+
+Extends :class:`~repro.plasma.store.PlasmaStore` in exactly the two steps
+the paper describes:
+
+1. **Disaggregated memory allocation** — the store's allocation region *is*
+   the node's exposed ThymesisFlow window, so every sealed object is
+   directly readable by remote nodes through their apertures (the base
+   class already allocates in whatever region it is given; the cluster
+   builder passes the exposed region).
+2. **Remote object sharing** — stores are interconnected with RPC. On a
+   client request for unknown ids the store batch-Lookups its peers and
+   wires the returned descriptors to ThymesisFlow reads; on creation it
+   enforces system-wide id uniqueness with Contains RPCs.
+
+Future-work extensions (each individually switchable, all benchmarked):
+
+* ``share_usage`` — distributed object-usage sharing: AddRef/ReleaseRef
+  RPCs pin remotely-used objects at their home store so eviction cannot
+  corrupt a remote reader (closes the gap paper §IV-A2 leaves open).
+* ``enable_lookup_cache`` — descriptor caching for repeated requests
+  (paper §V-B), invalidated by NotifyDeleted pushes.
+* multi-node — peers are a list, not a single partner; nothing in the
+  data path is 2-node specific.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.config import StoreConfig
+from repro.common.errors import ObjectExistsError, ObjectNotFoundError, ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.core.lookup_cache import LookupCache
+from repro.core.remote import PeerHandle, RemoteObjectRecord
+from repro.memory.host import MemoryRegion
+from repro.plasma.buffer import PlasmaBuffer, RemoteBufferSource
+from repro.plasma.entry import ObjectEntry
+from repro.plasma.store import PlasmaStore
+from repro.rpc.status import StatusCode
+from repro.common.errors import RpcStatusError
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+
+class DisaggregatedStore(PlasmaStore):
+    """A Plasma store whose objects live in disaggregated memory and whose
+    metadata plane spans every connected peer."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: ThymesisEndpoint,
+        region: MemoryRegion,
+        config: StoreConfig,
+        clock: SimClock,
+        *,
+        check_remote_uniqueness: bool = True,
+        share_usage: bool = False,
+        enable_lookup_cache: bool = False,
+        lookup_cache_entries: int = 100_000,
+        notify_deletions: bool = False,
+        sharing: str = "rpc",
+        region_offset_in_exposed: int = 0,
+    ):
+        super().__init__(name, endpoint, region, config, clock)
+        # 'rpc' and 'dmsg' run the same StoreService protocol over different
+        # transports (gRPC-model channel vs. disaggregated-memory rings);
+        # 'hashmap' replaces lookups with direct directory probes; 'hybrid'
+        # (paper §V-B: "a hybrid system that combines disaggregated memory
+        # hash map look-up with messaging") probes the directory for
+        # lookups but keeps a dmsg channel for feedback RPCs.
+        if sharing not in ("rpc", "hashmap", "dmsg", "hybrid"):
+            raise ValueError(f"unknown sharing strategy {sharing!r}")
+        if sharing == "hashmap" and share_usage:
+            # The paper's core argument for gRPC over the shared-data-
+            # structure approach: the one-way directory gives the home store
+            # no usage feedback, so remote pinning is impossible. (The
+            # 'hybrid' strategy exists precisely to lift this restriction.)
+            raise ValueError(
+                "usage sharing requires a bidirectional sharing strategy "
+                "('rpc', 'dmsg' or 'hybrid')"
+            )
+        self._peers: dict[str, PeerHandle] = {}
+        self._remote_records: dict[ObjectID, RemoteObjectRecord] = {}
+        self._check_remote_uniqueness = check_remote_uniqueness
+        self._share_usage = share_usage
+        self._notify_deletions = notify_deletions
+        self._sharing = sharing
+        self._exposed_offset = region_offset_in_exposed
+        self._directory = None  # home-side DisaggregatedHashMap, if attached
+        self._readers: dict[str, object] = {}  # peer -> RemoteHashMapReader
+        self._lookup_cache: LookupCache | None = (
+            LookupCache(lookup_cache_entries) if enable_lookup_cache else None
+        )
+
+    # -- topology ---------------------------------------------------------------
+
+    def connect_peer(self, handle: PeerHandle) -> None:
+        if handle.name == self._name:
+            raise ObjectStoreError("a store does not peer with itself")
+        if handle.name in self._peers:
+            raise ObjectStoreError(f"{self._name} already peers with {handle.name}")
+        self._peers[handle.name] = handle
+
+    def peers(self) -> list[str]:
+        return sorted(self._peers)
+
+    def peer(self, name: str) -> PeerHandle:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise ObjectStoreError(f"{self._name} has no peer {name!r}") from None
+
+    @property
+    def share_usage(self) -> bool:
+        return self._share_usage
+
+    @property
+    def sharing(self) -> str:
+        return self._sharing
+
+    @property
+    def lookup_cache(self) -> LookupCache | None:
+        return self._lookup_cache
+
+    # -- hashmap-sharing wiring (ablation E6) -----------------------------------
+
+    def attach_directory(self, directory) -> None:
+        """Attach the home-side disaggregated hash directory; sealed objects
+        are published to it and deletions retract them."""
+        self._directory = directory
+
+    def attach_hashmap_reader(self, peer_name: str, reader) -> None:
+        """Attach the remote-side reader for *peer_name*'s directory."""
+        self._readers[peer_name] = reader
+
+    @property
+    def directory(self):
+        return self._directory
+
+    # -- descriptor translation ---------------------------------------------------
+
+    def lookup_descriptor(self, object_id: ObjectID) -> dict | None:
+        """Descriptors cross the wire with offsets relative to the *exposed*
+        region (what the peer's aperture addresses), which may start before
+        the store's allocation region (e.g. the hashmap directory prefix)."""
+        descriptor = super().lookup_descriptor(object_id)
+        if descriptor is not None and self._exposed_offset:
+            descriptor = {
+                **descriptor,
+                "offset": descriptor["offset"] + self._exposed_offset,
+            }
+        return descriptor
+
+    # -- publishing to the directory -------------------------------------------------
+
+    def seal_object(self, object_id: ObjectID) -> ObjectEntry:
+        entry = super().seal_object(object_id)
+        if self._directory is not None:
+            self._directory.insert(
+                object_id,
+                entry.allocation.offset + self._exposed_offset,
+                entry.data_size,
+            )
+        return entry
+
+    def _retract_from_directory(self, object_id: ObjectID) -> None:
+        if self._directory is not None:
+            self._directory.remove(object_id)
+
+    # -- id uniqueness across the system (paper §IV-A2) ---------------------------------
+
+    def _peer_unavailable(self, name: str, exc: RpcStatusError) -> bool:
+        """True (and counted) iff *exc* means the peer's store process is
+        down. Data in its exposed memory stays reachable over the fabric;
+        only its metadata plane is skipped."""
+        if exc.code is StatusCode.UNAVAILABLE:
+            self.counters.inc("peers_unavailable")
+            return True
+        return False
+
+    def check_id_available(self, object_id: ObjectID) -> None:
+        super().check_id_available(object_id)
+        if not self._check_remote_uniqueness:
+            return
+        payload = {"object_ids": [object_id.binary()]}
+        for name in self.peers():
+            try:
+                response = self._peers[name].stub.Contains(payload)
+            except RpcStatusError as exc:
+                # A down peer cannot answer; creation proceeds on the
+                # surviving quorum (documented weakening, like any
+                # availability/consistency trade).
+                if self._peer_unavailable(name, exc):
+                    continue
+                raise
+            if any(response.get("present", [])):
+                raise ObjectExistsError(
+                    f"{object_id!r} already exists in peer store {name}"
+                )
+
+    def reserve_ids(self, object_ids: list[ObjectID]) -> None:
+        """Batched uniqueness check: one Contains RPC per peer for the whole
+        batch — the amortised variant producers use for bulk commits."""
+        with self.table.lock:
+            for oid in object_ids:
+                if self.table.contains(oid):
+                    raise ObjectExistsError(f"{oid!r} already exists in {self._name}")
+        if not self._check_remote_uniqueness or not object_ids:
+            return
+        payload = {"object_ids": [oid.binary() for oid in object_ids]}
+        for name in self.peers():
+            try:
+                response = self._peers[name].stub.Contains(payload)
+            except RpcStatusError as exc:
+                if self._peer_unavailable(name, exc):
+                    continue
+                raise
+            present = response.get("present", [])
+            for oid, hit in zip(object_ids, present):
+                if hit:
+                    raise ObjectExistsError(
+                        f"{oid!r} already exists in peer store {name}"
+                    )
+
+    # -- the remote retrieval path (paper Fig 5) --------------------------------------------
+
+    def get_buffers(
+        self, object_ids: list[ObjectID], allow_missing: bool = False
+    ) -> list[PlasmaBuffer]:
+        """Resolve ids to buffers, local or remote, adding references.
+
+        Local ids resolve against the table; unknown ids go through the
+        lookup cache (if enabled), then batched per-peer Lookup RPCs, then
+        ThymesisFlow-backed buffers. Raises
+        :class:`~repro.common.errors.ObjectNotFoundError` if any id resolves
+        nowhere — unless ``allow_missing`` is set, in which case unresolved
+        positions come back as ``None``.
+        """
+        if not object_ids:
+            return []
+        if self.tracer is not None:
+            with self.tracer.span(
+                "store", "get_buffers", track=self.node, n=len(object_ids)
+            ):
+                return self._get_buffers_inner(object_ids, allow_missing)
+        return self._get_buffers_inner(object_ids, allow_missing)
+
+    def _get_buffers_inner(
+        self, object_ids: list[ObjectID], allow_missing: bool
+    ) -> list[PlasmaBuffer]:
+        buffers: dict[ObjectID, PlasmaBuffer | None] = {}
+        missing: list[ObjectID] = []
+        with self.table.lock:
+            for oid in object_ids:
+                entry = self.table.lookup(oid)
+                if entry is not None:
+                    if not entry.is_sealed:
+                        if allow_missing:
+                            buffers[oid] = None
+                            continue
+                        raise ObjectNotFoundError(
+                            f"{oid!r} exists locally but is not sealed"
+                        )
+                    self.table.add_ref(oid)
+                    buffers[oid] = self.local_buffer(entry)
+                else:
+                    missing.append(oid)
+        found_remote = 0
+        if missing:
+            records = self._resolve_remote(missing, allow_missing)
+            newly_pinned: dict[str, list[ObjectID]] = {}
+            for oid in missing:
+                record = records.get(oid)
+                if record is None:
+                    buffers[oid] = None  # allow_missing guaranteed by resolve
+                    continue
+                if record.local_refs == 0 and self._share_usage:
+                    newly_pinned.setdefault(record.home, []).append(oid)
+                record.local_refs += 1
+                buffers[oid] = self._remote_buffer(record)
+                found_remote += 1
+            self._pin_at_home(newly_pinned)
+        self.counters.inc("gets_local", len(object_ids) - len(missing))
+        self.counters.inc("gets_remote", found_remote)
+        return [buffers[oid] for oid in object_ids]
+
+    def _resolve_remote(
+        self, object_ids: list[ObjectID], allow_missing: bool = False
+    ) -> dict[ObjectID, RemoteObjectRecord]:
+        resolved: dict[ObjectID, RemoteObjectRecord] = {}
+        unresolved: list[ObjectID] = []
+        for oid in object_ids:
+            record = self._remote_records.get(oid)
+            if record is None and self._lookup_cache is not None:
+                record = self._lookup_cache.get(oid)
+                if record is not None:
+                    self._remote_records[oid] = record
+                    self.counters.inc("lookup_cache_hits")
+            if record is not None:
+                resolved[oid] = record
+            else:
+                unresolved.append(oid)
+        if unresolved:
+            if self._sharing in ("hashmap", "hybrid"):
+                still = self._hashmap_lookup(unresolved, resolved)
+            else:
+                still = self._rpc_lookup(unresolved, resolved)
+            if still and not allow_missing:
+                raise ObjectNotFoundError(
+                    f"{len(still)} object(s) not found anywhere: "
+                    + ", ".join(repr(oid) for oid in still[:5])
+                )
+        return resolved
+
+    def _rpc_lookup(
+        self,
+        object_ids: list[ObjectID],
+        resolved: dict[ObjectID, RemoteObjectRecord],
+    ) -> list[ObjectID]:
+        """One batched Lookup per peer until everything resolves; returns
+        the ids nobody claimed."""
+        remaining = list(object_ids)
+        for name in self.peers():
+            if not remaining:
+                break
+            payload = {"object_ids": [oid.binary() for oid in remaining]}
+            try:
+                response = self._peers[name].stub.Lookup(payload)
+            except RpcStatusError as exc:
+                # A down peer's objects are unreachable by lookup (their
+                # bytes survive in exposed memory, but nobody can resolve
+                # ids to offsets) — skip it and keep serving.
+                if self._peer_unavailable(name, exc):
+                    continue
+                raise
+            self.counters.inc("lookup_rpcs")
+            found = response.get("found", [])
+            claimed: set[ObjectID] = set()
+            for descriptor in found:
+                record = RemoteObjectRecord.from_descriptor(name, descriptor)
+                self._remote_records[record.object_id] = record
+                if self._lookup_cache is not None:
+                    self._lookup_cache.put(record)
+                resolved[record.object_id] = record
+                claimed.add(record.object_id)
+            remaining = [oid for oid in remaining if oid not in claimed]
+        return remaining
+
+    def _hashmap_lookup(
+        self,
+        object_ids: list[ObjectID],
+        resolved: dict[ObjectID, RemoteObjectRecord],
+    ) -> list[ObjectID]:
+        """Resolve ids by probing peers' disaggregated hash directories with
+        timed fabric loads (no RPC; no usage feedback)."""
+        remaining = list(object_ids)
+        for name in self.peers():
+            if not remaining:
+                break
+            reader = self._readers.get(name)
+            if reader is None:
+                continue
+            claimed: set[ObjectID] = set()
+            for oid in remaining:
+                hit = reader.lookup(oid)
+                self.counters.inc("directory_probes")
+                if hit is None:
+                    continue
+                offset, size = hit
+                record = RemoteObjectRecord(
+                    object_id=oid, home=name, offset=offset, data_size=size
+                )
+                self._remote_records[oid] = record
+                if self._lookup_cache is not None:
+                    self._lookup_cache.put(record)
+                resolved[oid] = record
+                claimed.add(oid)
+            remaining = [oid for oid in remaining if oid not in claimed]
+        return remaining
+
+    def _remote_buffer(self, record: RemoteObjectRecord) -> PlasmaBuffer:
+        handle = self.peer(record.home)
+        source = RemoteBufferSource(handle.remote_region, record.offset)
+        return PlasmaBuffer(
+            record.object_id,
+            source,
+            record.data_size,
+            sealed=True,
+            metadata=record.metadata,
+        )
+
+    def _pin_at_home(self, by_home: dict[str, list[ObjectID]]) -> None:
+        for home, oids in by_home.items():
+            try:
+                self._peers[home].stub.AddRef(
+                    {"object_ids": [oid.binary() for oid in oids]}
+                )
+            except RpcStatusError as exc:
+                if exc.code is StatusCode.NOT_FOUND:
+                    # The object vanished between lookup and pin — surface
+                    # as not-found so the client can retry cleanly.
+                    raise ObjectNotFoundError(str(exc)) from exc
+                raise
+            for oid in oids:
+                self._remote_records[oid].pinned_at_home = True
+            self.counters.inc("addref_rpcs")
+
+    # -- reference management spanning nodes ---------------------------------------------------
+
+    def release_object(self, object_id: ObjectID) -> None:
+        """Release one reference, local or remote."""
+        record = self._remote_records.get(object_id)
+        if record is None:
+            self.release_ref(object_id)
+            return
+        if record.local_refs <= 0:
+            raise ObjectStoreError(
+                f"release of remote {object_id!r} without a matching reference"
+            )
+        record.local_refs -= 1
+        if record.local_refs == 0:
+            if record.pinned_at_home:
+                self._peers[record.home].stub.ReleaseRef(
+                    {"object_ids": [object_id.binary()]}
+                )
+                record.pinned_at_home = False
+                self.counters.inc("releaseref_rpcs")
+            # Drop the live record; the descriptor may survive in the
+            # lookup cache for future requests.
+            del self._remote_records[object_id]
+
+    def remote_record(self, object_id: ObjectID) -> RemoteObjectRecord | None:
+        return self._remote_records.get(object_id)
+
+    # -- deletion/eviction notifications (cache invalidation) ------------------------------------
+
+    def _broadcast_deleted(self, object_id: ObjectID) -> None:
+        if not self._notify_deletions:
+            return
+        payload = {"object_ids": [object_id.binary()]}
+        for name in self.peers():
+            try:
+                self._peers[name].stub.NotifyDeleted(payload)
+            except RpcStatusError as exc:
+                if self._peer_unavailable(name, exc):
+                    continue
+                raise
+        self.counters.inc("delete_notifications")
+
+    def delete_object(self, object_id: ObjectID) -> None:
+        super().delete_object(object_id)
+        self._retract_from_directory(object_id)
+        self._broadcast_deleted(object_id)
+
+    def _evict_entry(self, entry: ObjectEntry) -> None:
+        super()._evict_entry(entry)
+        self._retract_from_directory(entry.object_id)
+        self._broadcast_deleted(entry.object_id)
+
+    # -- remote subscriptions (cross-node notification relay) ----------------------------
+
+    def create_subscription(self) -> int:
+        """Register a notification queue a *remote* client will poll over
+        RPC — the cross-node version of Plasma's notification socket."""
+        queue = self.subscribe()
+        sub_id = len(self._subscriptions) + 1
+        self._subscriptions[sub_id] = queue
+        return sub_id
+
+    def poll_subscription(self, sub_id: int) -> list:
+        try:
+            queue = self._subscriptions[sub_id]
+        except KeyError:
+            raise ObjectStoreError(f"unknown subscription {sub_id}") from None
+        return queue.drain()
+
+    @property
+    def _subscriptions(self) -> dict:
+        # Lazily created so plain PlasmaStore paths pay nothing.
+        subs = getattr(self, "_subscriptions_map", None)
+        if subs is None:
+            subs = {}
+            self._subscriptions_map = subs
+        return subs
+
+    def invalidate_cached_lookups(self, object_ids: list[ObjectID]) -> None:
+        """Handle a peer's NotifyDeleted: drop cached descriptors and any
+        unreferenced remote records."""
+        for oid in object_ids:
+            if self._lookup_cache is not None:
+                self._lookup_cache.invalidate(oid)
+            record = self._remote_records.get(oid)
+            if record is not None and record.local_refs == 0:
+                del self._remote_records[oid]

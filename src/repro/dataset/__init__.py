@@ -1,0 +1,25 @@
+"""A minimal distributed-dataset programming model on the store.
+
+The paper positions the framework as infrastructure for big-data engines —
+its §II-B explicitly parallels Plasma's immutability with Spark's RDDs, and
+§V-B calls out wide-dependency operations as the interesting workload. This
+package is that programming model, built *only* on the public store API:
+
+* a :class:`DistributedDataset` is a list of immutable partitions, each an
+  object in some node's disaggregated memory;
+* **narrow** operations (:meth:`~DistributedDataset.map_partitions`,
+  :meth:`~DistributedDataset.filter`) run on each partition's home node —
+  purely local reads and writes;
+* **wide** operations (:meth:`~DistributedDataset.shuffle_by`,
+  :meth:`~DistributedDataset.reduce`, :meth:`~DistributedDataset.collect`)
+  cross nodes — and all cross-node traffic is ThymesisFlow reads of sealed
+  objects, never LAN payload copies.
+
+Datasets are immutable: every transformation produces new objects, exactly
+the RDD discipline Plasma's sealing supports.
+"""
+
+from repro.dataset.partition import Partition
+from repro.dataset.dataset import DistributedDataset
+
+__all__ = ["Partition", "DistributedDataset"]

@@ -1,0 +1,23 @@
+"""Partition descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.ids import ObjectID
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One immutable partition: an array object homed on one node."""
+
+    index: int
+    object_id: ObjectID
+    home: str
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("partition indices are non-negative")
+        if self.rows < 0:
+            raise ValueError("row counts are non-negative")

@@ -1,0 +1,21 @@
+"""Host-memory substrate.
+
+Real byte storage for every simulated node (:class:`HostMemory`), windowed
+access (:class:`MemoryRegion`), an interval-set utility used across the
+memory and cache layers, and the cache-coherency model that reproduces the
+asymmetric ThymesisFlow semantics of the paper's Figure 3
+(:class:`CacheModel`).
+"""
+
+from repro.memory.intervals import Interval, IntervalSet
+from repro.memory.host import HostMemory, MemoryRegion
+from repro.memory.cache import CacheModel, CacheAccess
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "HostMemory",
+    "MemoryRegion",
+    "CacheModel",
+    "CacheAccess",
+]

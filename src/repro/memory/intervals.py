@@ -1,0 +1,168 @@
+"""Sorted, coalescing integer interval sets.
+
+Used by the cache model (which ranges of a node's memory are cached), by
+allocator audits (free/used coverage) and by aperture maps. Intervals are
+half-open ``[start, stop)`` over non-negative integers.
+
+The implementation keeps a sorted list of disjoint intervals and uses
+binary search for point/range queries, so all operations are
+O(log n + k) for k touched intervals — adequate for the interval counts the
+simulation produces (thousands, not millions, because bulk memory traffic is
+tracked as coarse ranges rather than per cache line).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Half-open interval ``[start, stop)``; empty intervals are invalid."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"interval [{self.start}, {self.stop}) is empty or inverted")
+        if self.start < 0:
+            raise ValueError("intervals cover non-negative offsets only")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.stop and other.start < self.stop
+
+    def contains(self, point: int) -> bool:
+        return self.start <= point < self.stop
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo = max(self.start, other.start)
+        hi = min(self.stop, other.stop)
+        if lo < hi:
+            return Interval(lo, hi)
+        return None
+
+
+class IntervalSet:
+    """A set of non-negative integers stored as disjoint sorted intervals."""
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._starts: list[int] = []
+        self._stops: list[int] = []
+        for iv in intervals:
+            self.add(iv.start, iv.stop)
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, start: int, stop: int) -> None:
+        """Insert ``[start, stop)``, coalescing with neighbours."""
+        if stop <= start:
+            raise ValueError(f"cannot add empty interval [{start}, {stop})")
+        if start < 0:
+            raise ValueError("negative offsets are invalid")
+        # Find all existing intervals that touch or overlap [start, stop).
+        i = bisect.bisect_left(self._stops, start)
+        j = bisect.bisect_right(self._starts, stop)
+        if i < j:
+            start = min(start, self._starts[i])
+            stop = max(stop, self._stops[j - 1])
+        del self._starts[i:j]
+        del self._stops[i:j]
+        self._starts.insert(i, start)
+        self._stops.insert(i, stop)
+
+    def remove(self, start: int, stop: int) -> None:
+        """Remove ``[start, stop)``; removing absent ranges is a no-op."""
+        if stop <= start:
+            raise ValueError(f"cannot remove empty interval [{start}, {stop})")
+        i = bisect.bisect_right(self._stops, start)
+        j = bisect.bisect_left(self._starts, stop)
+        if i >= j:
+            return
+        left_keep = self._starts[i] < start
+        right_keep = self._stops[j - 1] > stop
+        new_starts: list[int] = []
+        new_stops: list[int] = []
+        if left_keep:
+            new_starts.append(self._starts[i])
+            new_stops.append(start)
+        if right_keep:
+            new_starts.append(stop)
+            new_stops.append(self._stops[j - 1])
+        self._starts[i:j] = new_starts
+        self._stops[i:j] = new_stops
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._stops.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of disjoint intervals."""
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for s, e in zip(self._starts, self._stops):
+            yield Interval(s, e)
+
+    def total(self) -> int:
+        """Total number of covered integers."""
+        return sum(e - s for s, e in zip(self._starts, self._stops))
+
+    def contains_point(self, point: int) -> bool:
+        i = bisect.bisect_right(self._starts, point) - 1
+        return i >= 0 and point < self._stops[i]
+
+    def covers(self, start: int, stop: int) -> bool:
+        """True iff the whole of ``[start, stop)`` is in the set."""
+        if stop <= start:
+            raise ValueError("empty query interval")
+        i = bisect.bisect_right(self._starts, start) - 1
+        return i >= 0 and self._stops[i] >= stop
+
+    def overlap(self, start: int, stop: int) -> int:
+        """Number of integers of ``[start, stop)`` present in the set."""
+        if stop <= start:
+            raise ValueError("empty query interval")
+        covered = 0
+        i = bisect.bisect_right(self._stops, start)
+        while i < len(self._starts) and self._starts[i] < stop:
+            covered += min(stop, self._stops[i]) - max(start, self._starts[i])
+            i += 1
+        return covered
+
+    def intersecting(self, start: int, stop: int) -> list[Interval]:
+        """The clipped intervals overlapping ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError("empty query interval")
+        out: list[Interval] = []
+        i = bisect.bisect_right(self._stops, start)
+        while i < len(self._starts) and self._starts[i] < stop:
+            out.append(Interval(max(start, self._starts[i]), min(stop, self._stops[i])))
+            i += 1
+        return out
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._starts = list(self._starts)
+        out._stops = list(self._stops)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._stops == other._stops
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{s},{e})" for s, e in zip(self._starts, self._stops))
+        return f"IntervalSet({inner})"

@@ -1,0 +1,17 @@
+"""Local-network and inter-process-communication models.
+
+Two transports the paper relies on, both as calibrated cost models over the
+shared :class:`~repro.common.clock.SimClock`:
+
+* :class:`IpcChannel` — the Unix-domain-socket path between a Plasma client
+  and its node-local store (handles are exchanged, not data).
+* :class:`Network`/:class:`Connection` — the Ethernet LAN. The gRPC layer
+  rides on it for metadata; the scale-out baseline copies whole objects
+  over it (the Fig 1a approach the paper argues against).
+"""
+
+from repro.network.model import TransferModel
+from repro.network.lan import Network, Connection
+from repro.network.ipc import IpcChannel
+
+__all__ = ["TransferModel", "Network", "Connection", "IpcChannel"]

@@ -1,0 +1,221 @@
+"""Object buffers: the handles clients read and write.
+
+A buffer wraps a *source* — either the node's own memory (timed through the
+endpoint's cache-aware cost model) or a remote disaggregated window (timed
+through the ThymesisFlow link). The distinction is invisible to
+applications, which is the framework's point: "the distributed nature can
+largely remain hidden to Plasma clients" (paper §IV-A2).
+
+Reading a sealed buffer end-to-end (:meth:`PlasmaBuffer.read_all`,
+:meth:`read_into`) is exactly the operation Figure 7 measures.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ObjectSealedError, ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.thymesisflow.aperture import RemoteRegion
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+
+class LocalBufferSource:
+    """Buffer bytes living in this node's own memory."""
+
+    def __init__(self, endpoint: ThymesisEndpoint, abs_offset: int):
+        self._ep = endpoint
+        self._abs = abs_offset
+
+    @property
+    def location(self) -> str:
+        return f"local:{self._ep.name}"
+
+    @property
+    def is_remote(self) -> bool:
+        return False
+
+    def view(self, offset: int, size: int) -> memoryview:
+        return self._ep.local_view(self._abs + offset, size)
+
+    def timed_read(self, offset: int, size: int, out=None) -> float:
+        return self._ep.local_read(self._abs + offset, size, out=out)
+
+    def timed_write(self, offset: int, data) -> float:
+        return self._ep.local_write(self._abs + offset, data)
+
+    def charge_write(self, offset: int, size: int) -> float:
+        return self._ep.charge_local_write(self._abs + offset, size)
+
+
+class RemoteBufferSource:
+    """Buffer bytes living in a remote node's disaggregated region,
+    accessed through a mapped aperture."""
+
+    def __init__(self, remote: RemoteRegion, region_offset: int):
+        self._remote = remote
+        self._off = region_offset
+
+    @property
+    def location(self) -> str:
+        return f"remote:{self._remote.home_name}"
+
+    @property
+    def is_remote(self) -> bool:
+        return True
+
+    def view(self, offset: int, size: int) -> memoryview:
+        return self._remote.view(self._off + offset, size)
+
+    def timed_read(self, offset: int, size: int, out=None) -> float:
+        if out is not None:
+            self._remote.read(self._off + offset, size, out=out)
+            # Cost was charged inside read(); report 0 extra.
+            return 0.0
+        return self._remote.charge_read(size)
+
+    def timed_write(self, offset: int, data) -> float:
+        self._remote.write(self._off + offset, data)
+        return 0.0
+
+    def charge_write(self, offset: int, size: int) -> float:
+        # Charge-only remote write: link time without byte movement (and
+        # therefore without the Fig 3b staleness side effect).
+        return self._remote.aperture.link.charge_stream_write(size)
+
+
+class PlasmaBuffer:
+    """A client's handle to one object's payload.
+
+    Writable until the object is sealed (and only by its creator); read-only
+    afterwards. Dropping the handle requires an explicit
+    :meth:`~repro.plasma.client.PlasmaClient.release` — exactly Plasma's
+    contract, and what the eviction policy's in-use pinning relies on.
+    """
+
+    def __init__(
+        self,
+        object_id: ObjectID,
+        source: LocalBufferSource | RemoteBufferSource,
+        size: int,
+        sealed: bool,
+        metadata: bytes = b"",
+    ):
+        self._object_id = object_id
+        self._source = source
+        self._size = size
+        self._sealed = sealed
+        self._metadata = bytes(metadata)
+        self._released = False
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def object_id(self) -> ObjectID:
+        return self._object_id
+
+    @property
+    def nbytes(self) -> int:
+        return self._size
+
+    @property
+    def metadata(self) -> bytes:
+        """The application metadata attached at create time (Plasma lets a
+        producer store a small schema/annotation blob beside the payload)."""
+        return self._metadata
+
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def is_remote(self) -> bool:
+        return self._source.is_remote
+
+    @property
+    def location(self) -> str:
+        return self._source.location
+
+    @property
+    def is_released(self) -> bool:
+        return self._released
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise ObjectStoreError(f"buffer for {self._object_id!r} was released")
+
+    def _mark_sealed(self) -> None:
+        self._sealed = True
+
+    def _mark_released(self) -> None:
+        self._released = True
+
+    # -- reads (the Figure 7 path) --------------------------------------------------
+
+    def read_all(self) -> bytes:
+        """Sequentially read the whole payload (timed); returns the bytes."""
+        self._check_live()
+        out = bytearray(self._size)
+        self._source.timed_read(0, self._size, out=out)
+        return bytes(out)
+
+    def read_into(self, out) -> None:
+        """Timed sequential read into a caller buffer (no allocation)."""
+        self._check_live()
+        mv = memoryview(out)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        if len(mv) < self._size:
+            raise ObjectStoreError(
+                f"output buffer ({len(mv)} B) smaller than object ({self._size} B)"
+            )
+        self._source.timed_read(0, self._size, out=mv[: self._size])
+
+    def charge_sequential_read(self) -> None:
+        """Account the cost of reading the payload without materialising it
+        (used by benchmarks that only need timing)."""
+        self._check_live()
+        self._source.timed_read(0, self._size, out=None)
+
+    def view(self) -> memoryview:
+        """Untimed zero-copy window (read-only once sealed)."""
+        self._check_live()
+        mv = self._source.view(0, self._size)
+        return mv.toreadonly() if self._sealed else mv
+
+    # -- writes (producer side, pre-seal) ----------------------------------------------
+
+    def write(self, data, offset: int = 0) -> None:
+        """Timed write of *data* at *offset*; only before sealing."""
+        self._check_live()
+        if self._sealed:
+            raise ObjectSealedError(
+                f"{self._object_id!r} is sealed and therefore immutable"
+            )
+        mv = memoryview(data)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        if offset < 0 or offset + len(mv) > self._size:
+            raise ObjectStoreError(
+                f"write [{offset}, {offset + len(mv)}) exceeds the "
+                f"{self._size}-byte object"
+            )
+        self._source.timed_write(offset, mv)
+
+    def charge_sequential_write(self) -> None:
+        """Account the cost of writing the whole payload without moving
+        bytes (benchmark charge-only mode)."""
+        self._check_live()
+        if self._sealed:
+            raise ObjectSealedError(
+                f"{self._object_id!r} is sealed and therefore immutable"
+            )
+        self._source.charge_write(0, self._size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        state = "sealed" if self._sealed else "unsealed"
+        return (
+            f"PlasmaBuffer({self._object_id!r}, {self._size} B, {state}, "
+            f"{self._source.location})"
+        )

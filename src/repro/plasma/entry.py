@@ -1,0 +1,64 @@
+"""Object table entries and lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.allocator.base import Allocation
+from repro.common.ids import ObjectID
+
+
+class ObjectState(enum.Enum):
+    """Plasma's object lifecycle.
+
+    CREATED objects are writable by their creator only; SEALED objects are
+    immutable and visible to every client ("Sealing an object prompts the
+    store to make it immutable, such that race conditions cannot occur",
+    paper §II-B).
+    """
+
+    CREATED = "created"
+    SEALED = "sealed"
+
+
+@dataclass
+class ObjectEntry:
+    """Book-keeping for one object resident in a store."""
+
+    object_id: ObjectID
+    allocation: Allocation
+    data_size: int
+    metadata: bytes = b""
+    state: ObjectState = ObjectState.CREATED
+    ref_count: int = 0
+    # Reference counts attributed to remote stores' clients (the
+    # distributed-usage-sharing extension; see repro.core.refshare).
+    remote_ref_count: int = 0
+    created_at_ns: int = 0
+    sealed_at_ns: int = 0
+    last_access_seq: int = 0
+
+    @property
+    def is_sealed(self) -> bool:
+        return self.state is ObjectState.SEALED
+
+    @property
+    def total_refs(self) -> int:
+        return self.ref_count + self.remote_ref_count
+
+    @property
+    def evictable(self) -> bool:
+        """Only sealed objects nobody references may be evicted — evicting
+        an in-use object "would likely corrupt their data" (paper §IV-A2)."""
+        return self.is_sealed and self.total_refs == 0
+
+    def describe(self) -> dict:
+        """A wire-friendly descriptor (used by RPC lookups)."""
+        return {
+            "object_id": self.object_id.binary(),
+            "offset": self.allocation.offset,
+            "data_size": self.data_size,
+            "metadata": self.metadata,
+            "sealed": self.is_sealed,
+        }

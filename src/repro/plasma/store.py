@@ -1,0 +1,287 @@
+"""The Plasma store process.
+
+"The Plasma object store lives as a separate process to which clients of
+the store may commit and 'seal' data objects with an object identifier. The
+store manages the objects' locations in shared memory and makes them
+available to other clients upon sealing." (paper §II-B)
+
+The store composes:
+
+* an allocator (the paper's first-fit replacement by default) over the
+  memory region it manages — for the disaggregated variant that region *is*
+  the node's exposed ThymesisFlow window;
+* the mutex-guarded :class:`~repro.plasma.table.ObjectTable`;
+* LRU eviction that refuses to touch in-use objects;
+* seal/delete notification fan-out.
+"""
+
+from __future__ import annotations
+
+from repro.allocator import create_allocator
+from repro.common.clock import SimClock
+from repro.common.config import StoreConfig
+from repro.common.errors import (
+    ObjectExistsError,
+    ObjectNotFoundError,
+    ObjectNotSealedError,
+    OutOfMemoryError,
+)
+from repro.common.ids import ObjectID
+from repro.common.stats import Counter
+from repro.memory.host import MemoryRegion
+from repro.plasma.buffer import LocalBufferSource, PlasmaBuffer
+from repro.plasma.entry import ObjectEntry
+from repro.plasma.eviction import create_eviction_policy
+from repro.plasma.notifications import NotificationQueue, SealNotification
+from repro.plasma.table import ObjectTable
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+
+class PlasmaStore:
+    """One store instance managing one memory region on one node."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: ThymesisEndpoint,
+        region: MemoryRegion,
+        config: StoreConfig,
+        clock: SimClock,
+    ):
+        if region.memory is not endpoint.memory:
+            raise ValueError("store region must live in its endpoint's memory")
+        self._name = name
+        self._endpoint = endpoint
+        self._region = region
+        self._config = config
+        self._clock = clock
+        self._allocator = create_allocator(
+            config.allocator, region.size, config.alignment
+        )
+        self._table = ObjectTable()
+        self._eviction = create_eviction_policy(
+            config.eviction_policy, region.size, config.eviction_batch_fraction
+        )
+        self._subscribers: list[NotificationQueue] = []
+        self.counters = Counter()
+        # Optional simulated-time tracer (set by the cluster builder when
+        # tracing is requested); hot paths guard on it being None.
+        self.tracer = None
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def endpoint(self) -> ThymesisEndpoint:
+        return self._endpoint
+
+    @property
+    def node(self) -> str:
+        return self._endpoint.name
+
+    @property
+    def region(self) -> MemoryRegion:
+        return self._region
+
+    @property
+    def table(self) -> ObjectTable:
+        return self._table
+
+    @property
+    def allocator(self):
+        return self._allocator
+
+    @property
+    def config(self) -> StoreConfig:
+        return self._config
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._region.size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._allocator.used_bytes
+
+    # -- object lifecycle ------------------------------------------------------------
+
+    def check_id_available(self, object_id: ObjectID) -> None:
+        """Raise :class:`ObjectExistsError` if the id is taken. The
+        distributed store widens this check across peers (paper: "on object
+        creation, RPC calls are used to ensure the uniqueness of object
+        identifiers")."""
+        if self._table.contains(object_id):
+            raise ObjectExistsError(f"{object_id!r} already exists in {self._name}")
+
+    def create_object(
+        self, object_id: ObjectID, data_size: int, metadata: bytes = b""
+    ) -> ObjectEntry:
+        """Allocate an object; evicts LRU sealed unused objects on pressure."""
+        # The uniqueness check runs OUTSIDE the table mutex: for the
+        # distributed store it performs blocking Contains RPCs, and holding
+        # the local mutex across a call into a peer (whose handler takes its
+        # own mutex) would deadlock two concurrently-creating stores. The
+        # small check-then-insert window is safe — insertion still fails on
+        # a local duplicate.
+        self.check_id_available(object_id)
+        return self.create_object_unchecked(object_id, data_size, metadata)
+
+    def create_object_unchecked(
+        self, object_id: ObjectID, data_size: int, metadata: bytes = b""
+    ) -> ObjectEntry:
+        """Allocate without the (possibly distributed) uniqueness check —
+        for callers that already reserved the id in a batch. Local
+        duplicates still fail at table insertion."""
+        if data_size <= 0:
+            raise ValueError("object size must be positive")
+        with self._table.lock:
+            allocation = self._allocate_with_eviction(data_size)
+            entry = ObjectEntry(
+                object_id=object_id,
+                allocation=allocation,
+                data_size=data_size,
+                metadata=bytes(metadata),
+                created_at_ns=self._clock.now_ns,
+            )
+            self._table.insert(entry)
+        self.counters.inc("objects_created")
+        self.counters.inc("bytes_created", data_size)
+        return entry
+
+    def _allocate_with_eviction(self, data_size: int):
+        try:
+            return self._allocator.allocate(data_size)
+        except OutOfMemoryError:
+            pass
+        # Memory pressure: evict a batch of LRU sealed unused objects.
+        decision = self._eviction.plan(self._table, required_bytes=data_size)
+        for victim in decision.victims:
+            self._evict_entry(victim)
+        try:
+            return self._allocator.allocate(data_size)
+        except OutOfMemoryError:
+            # Even after eviction the request does not fit (all remaining
+            # objects in use, or fragmentation).
+            raise
+
+    def _evict_entry(self, entry: ObjectEntry) -> None:
+        self._table.remove(entry.object_id)
+        self._allocator.free(entry.allocation.offset)
+        self.counters.inc("objects_evicted")
+        self.counters.inc("bytes_evicted", entry.allocation.padded_size)
+        self._notify(
+            SealNotification(entry.object_id, entry.data_size, deleted=True)
+        )
+
+    def seal_object(self, object_id: ObjectID) -> ObjectEntry:
+        """Make the object immutable and announce it."""
+        entry = self._table.seal(object_id, sealed_at_ns=self._clock.now_ns)
+        self.counters.inc("objects_sealed")
+        self._notify(SealNotification(entry.object_id, entry.data_size))
+        return entry
+
+    def delete_object(self, object_id: ObjectID) -> None:
+        """Explicitly remove a sealed, unreferenced object."""
+        with self._table.lock:
+            entry = self._table.get(object_id)
+            if not entry.is_sealed:
+                raise ObjectNotSealedError(
+                    f"{object_id!r} cannot be deleted before sealing"
+                )
+            self._table.remove(object_id)
+            self._allocator.free(entry.allocation.offset)
+        self.counters.inc("objects_deleted")
+        self._notify(SealNotification(entry.object_id, entry.data_size, deleted=True))
+
+    def evict(self, nbytes: int) -> int:
+        """Force-evict at least *nbytes* if possible; returns freed bytes."""
+        with self._table.lock:
+            decision = self._eviction.plan(self._table, required_bytes=nbytes)
+            for victim in decision.victims:
+                self._evict_entry(victim)
+            return decision.freed_bytes
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def contains(self, object_id: ObjectID) -> bool:
+        return self._table.contains(object_id)
+
+    def get_sealed_entry(self, object_id: ObjectID) -> ObjectEntry:
+        """The entry, which must exist and be sealed (reads of unsealed
+        objects are races Plasma prevents by construction)."""
+        entry = self._table.lookup(object_id)
+        if entry is None:
+            raise ObjectNotFoundError(f"{object_id!r} not found in {self._name}")
+        if not entry.is_sealed:
+            raise ObjectNotSealedError(f"{object_id!r} exists but is not sealed")
+        return entry
+
+    def lookup_descriptor(self, object_id: ObjectID) -> dict | None:
+        """Wire-friendly descriptor of a *sealed* object, or None.
+
+        This is the payload a peer store's RPC Lookup returns: enough for
+        the peer to address the bytes through its aperture (offset within
+        the exposed region + size).
+        """
+        with self._table.lock:
+            entry = self._table.lookup(object_id)
+            if entry is None or not entry.is_sealed:
+                return None
+            return entry.describe()
+
+    # -- references ---------------------------------------------------------------------
+
+    def add_ref(self, object_id: ObjectID, remote: bool = False) -> None:
+        self._table.add_ref(object_id, remote=remote)
+
+    def release_ref(self, object_id: ObjectID, remote: bool = False) -> None:
+        self._table.release_ref(object_id, remote=remote)
+
+    # -- buffers ----------------------------------------------------------------------
+
+    def local_buffer(self, entry: ObjectEntry) -> PlasmaBuffer:
+        """A buffer handle for a locally stored object."""
+        abs_offset = self._region.absolute(entry.allocation.offset)
+        source = LocalBufferSource(self._endpoint, abs_offset)
+        return PlasmaBuffer(
+            entry.object_id,
+            source,
+            entry.data_size,
+            sealed=entry.is_sealed,
+            metadata=entry.metadata,
+        )
+
+    # -- notifications ------------------------------------------------------------------
+
+    def subscribe(self) -> NotificationQueue:
+        queue = NotificationQueue()
+        self._subscribers.append(queue)
+        return queue
+
+    def _notify(self, note: SealNotification) -> None:
+        for queue in self._subscribers:
+            queue._push(note)  # noqa: SLF001 — store is the queue's producer
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def object_count(self) -> int:
+        return len(self._table)
+
+    def describe_all(self) -> list[dict]:
+        out: list[dict] = []
+        self._table.for_each(lambda e: out.append(e.describe()))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PlasmaStore({self._name}, node={self.node}, "
+            f"{self.used_bytes}/{self.capacity_bytes} B, "
+            f"{self.object_count()} objects)"
+        )

@@ -1,0 +1,133 @@
+"""The server side of the RPC layer.
+
+The paper runs a dedicated gRPC server thread per store; concurrency with
+the store's main thread is guarded by a mutex on the object table. Here the
+server is an in-simulation object whose :meth:`dispatch` is invoked by
+client channels; handlers acquire the same real :class:`threading.Lock`
+instances the store uses, so the thread-safety design is exercised for real
+in the threaded integration tests.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.common.errors import (
+    ObjectExistsError,
+    ObjectNotFoundError,
+    ObjectNotSealedError,
+    ReproError,
+    RpcError,
+)
+from repro.common.stats import Counter
+from repro.rpc.codec import decode_message, encode_message
+from repro.rpc.service import Service
+from repro.rpc.status import StatusCode
+
+_EXCEPTION_STATUS = (
+    (ObjectNotFoundError, StatusCode.NOT_FOUND),
+    (ObjectExistsError, StatusCode.ALREADY_EXISTS),
+    (ObjectNotSealedError, StatusCode.FAILED_PRECONDITION),
+    (ValueError, StatusCode.INVALID_ARGUMENT),
+)
+
+
+class RpcServer:
+    """A service registry + dispatcher bound to one host."""
+
+    def __init__(self, host: str):
+        self._host = host
+        self._services: dict[str, dict[str, object]] = {}
+        self._shutdown = False
+        self.counters = Counter()
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def is_shutdown(self) -> bool:
+        return self._shutdown
+
+    def shutdown(self) -> None:
+        """Simulate the store process dying: every subsequent call gets
+        UNAVAILABLE. Note the asymmetry that makes disaggregation
+        interesting: the node's exposed *memory* remains readable over the
+        fabric — only the metadata plane is gone."""
+        self._shutdown = True
+
+    def restart(self) -> None:
+        self._shutdown = False
+
+    def add_service(self, service: Service) -> None:
+        name = service.service_name()
+        if name in self._services:
+            raise RpcError(f"service {name!r} already registered on {self._host}")
+        methods = service.rpc_methods()
+        if not methods:
+            raise RpcError(f"service {name!r} exposes no @rpc_method handlers")
+        self._services[name] = methods
+
+    def service_names(self) -> list[str]:
+        return sorted(self._services)
+
+    def dispatch_wire(self, service: str, method: str, request_wire: bytes) -> tuple[StatusCode, bytes, str]:
+        """Decode, dispatch, encode. Returns (status, response_wire, detail).
+
+        This is the seam channels call: request and response both cross it
+        as real serialized bytes.
+        """
+        try:
+            request = decode_message(request_wire)
+        except RpcError as exc:
+            return StatusCode.INVALID_ARGUMENT, b"", str(exc)
+        status, response, detail = self.dispatch(service, method, request)
+        try:
+            wire = encode_message(response) if response is not None else encode_message({})
+        except RpcError as exc:  # handler returned something unserialisable
+            return StatusCode.INTERNAL, b"", f"unserialisable response: {exc}"
+        return status, wire, detail
+
+    def dispatch(self, service: str, method: str, request: dict) -> tuple[StatusCode, dict | None, str]:
+        """Dispatch a decoded request; maps handler exceptions to statuses."""
+        self.counters.inc("calls")
+        if self._shutdown:
+            self.counters.inc("calls_unavailable")
+            return (
+                StatusCode.UNAVAILABLE,
+                None,
+                f"store process on {self._host} is down",
+            )
+        methods = self._services.get(service)
+        if methods is None:
+            self.counters.inc("calls_unimplemented")
+            return StatusCode.UNIMPLEMENTED, None, f"unknown service {service!r}"
+        handler = methods.get(method)
+        if handler is None:
+            self.counters.inc("calls_unimplemented")
+            return (
+                StatusCode.UNIMPLEMENTED,
+                None,
+                f"service {service!r} has no method {method!r}",
+            )
+        try:
+            response = handler(request)
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            self.counters.inc("calls_failed")
+            for exc_type, code in _EXCEPTION_STATUS:
+                if isinstance(exc, exc_type):
+                    return code, None, str(exc)
+            if isinstance(exc, ReproError):
+                return StatusCode.INTERNAL, None, str(exc)
+            return (
+                StatusCode.INTERNAL,
+                None,
+                f"unhandled {type(exc).__name__}: {exc}\n{traceback.format_exc(limit=3)}",
+            )
+        if response is None:
+            response = {}
+        if not isinstance(response, dict):
+            self.counters.inc("calls_failed")
+            return StatusCode.INTERNAL, None, "handler returned a non-dict response"
+        self.counters.inc("calls_ok")
+        return StatusCode.OK, response, ""

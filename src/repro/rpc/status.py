@@ -1,0 +1,20 @@
+"""RPC status codes (the subset of gRPC's codes the framework uses)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class StatusCode(enum.Enum):
+    OK = 0
+    INVALID_ARGUMENT = 3
+    NOT_FOUND = 5
+    ALREADY_EXISTS = 6
+    RESOURCE_EXHAUSTED = 8
+    FAILED_PRECONDITION = 9
+    UNIMPLEMENTED = 12
+    INTERNAL = 13
+    UNAVAILABLE = 14
+
+    def __str__(self) -> str:  # keep error text readable
+        return self.name

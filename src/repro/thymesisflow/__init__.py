@@ -1,0 +1,32 @@
+"""ThymesisFlow memory-disaggregation fabric (software model).
+
+The paper's substrate is ThymesisFlow [Pinto et al., MICRO'20]: POWER9
+servers whose FPGAs expose a *portion of local system memory* to remote
+nodes over OpenCAPI, so that remote memory appears as a byte-addressable
+region with load/store semantics. This package models that substrate:
+
+* :class:`OpenCapiLink` — point-to-point link cost model (single-access
+  latency, pipelined streaming bandwidth, jitter).
+* :class:`ThymesisEndpoint` — one node's view: its real
+  :class:`~repro.memory.host.HostMemory`, its cache (Fig 3 semantics), the
+  exposed (disaggregated) window, and timed local access.
+* :class:`ApertureMap` / :class:`RemoteRegion` — the address-translation
+  role of the FPGA: remote windows mapped into the node's extended physical
+  address space.
+* :class:`ThymesisFabric` — topology: endpoints + links, mapping remote
+  regions, routing reads/writes with the coherency semantics of Fig 3.
+"""
+
+from repro.thymesisflow.link import OpenCapiLink
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+from repro.thymesisflow.aperture import ApertureMap, Aperture, RemoteRegion
+from repro.thymesisflow.fabric import ThymesisFabric
+
+__all__ = [
+    "OpenCapiLink",
+    "ThymesisEndpoint",
+    "ApertureMap",
+    "Aperture",
+    "RemoteRegion",
+    "ThymesisFabric",
+]

@@ -1,0 +1,107 @@
+"""Point-to-point OpenCAPI link cost model.
+
+Two access regimes, matching how ThymesisFlow hardware behaves:
+
+* **single access** (a load/store of up to one cache line): pays the full
+  unloaded round trip through both FPGAs (~1.1 us) — this is the "inherent
+  latency penalty ... non-negligible" the paper discusses in §III.
+* **streaming** (bulk sequential reads, what the benchmarks measure): line
+  fills pipeline, hiding the per-line latency; cost is a small per-transfer
+  setup plus bytes / bandwidth. Calibrated so a single-threaded remote read
+  sustains ~5.75 GiB/s (Fig 7).
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.config import FabricLinkConfig
+from repro.common.rng import DeterministicRng
+from repro.common.stats import Counter
+from repro.network.model import TransferModel
+
+
+class OpenCapiLink:
+    """A bidirectional link between two named endpoints."""
+
+    def __init__(
+        self,
+        node_a: str,
+        node_b: str,
+        clock: SimClock,
+        config: FabricLinkConfig,
+        rng: DeterministicRng,
+    ):
+        if node_a == node_b:
+            raise ValueError("a link must connect two distinct nodes")
+        self._ends = frozenset((node_a, node_b))
+        self._node_a = node_a
+        self._node_b = node_b
+        self._clock = clock
+        self._config = config
+        link_rng = rng.spawn("link", *sorted(self._ends))
+        self._read_model = TransferModel(
+            fixed_latency_ns=config.streaming_overhead_ns,
+            bandwidth_bps=config.read_bandwidth_bps,
+            jitter_sigma=config.jitter_sigma,
+            rng=link_rng,
+        )
+        self._write_model = TransferModel(
+            fixed_latency_ns=config.streaming_overhead_ns,
+            bandwidth_bps=config.write_bandwidth_bps,
+            jitter_sigma=config.jitter_sigma,
+            rng=link_rng,
+        )
+        self._single_rng = link_rng
+        self.counters = Counter()
+
+    @property
+    def config(self) -> FabricLinkConfig:
+        return self._config
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        return self._ends
+
+    def connects(self, node_a: str, node_b: str) -> bool:
+        return frozenset((node_a, node_b)) == self._ends
+
+    # -- timing ------------------------------------------------------------------
+
+    def charge_stream_read(self, nbytes: int) -> float:
+        """Bulk remote read of *nbytes*; returns charged ns."""
+        cost = 0.0
+        remaining = nbytes
+        burst = self._config.max_burst_bytes
+        while remaining > 0:
+            chunk = min(remaining, burst)
+            cost += self._read_model.cost_ns(chunk)
+            remaining -= chunk
+        self._clock.advance(cost)
+        self.counters.inc("read_bytes", nbytes)
+        self.counters.inc("read_ops")
+        return cost
+
+    def charge_stream_write(self, nbytes: int) -> float:
+        cost = 0.0
+        remaining = nbytes
+        burst = self._config.max_burst_bytes
+        while remaining > 0:
+            chunk = min(remaining, burst)
+            cost += self._write_model.cost_ns(chunk)
+            remaining -= chunk
+        self._clock.advance(cost)
+        self.counters.inc("write_bytes", nbytes)
+        self.counters.inc("write_ops")
+        return cost
+
+    def charge_single_access(self) -> float:
+        """One unpipelined load/store (≤ a cache line) round trip."""
+        cost = self._config.added_latency_ns * self._single_rng.lognormal_jitter(
+            self._config.jitter_sigma
+        )
+        self._clock.advance(cost)
+        self.counters.inc("single_accesses")
+        return cost
+
+    def __repr__(self) -> str:
+        return f"OpenCapiLink({self._node_a}<->{self._node_b})"

@@ -1,0 +1,112 @@
+"""BuddyAllocator — power-of-two extension for the allocator ablation."""
+
+import pytest
+
+from repro.allocator import BuddyAllocator
+from repro.common.errors import OutOfMemoryError
+
+
+def make(capacity=1 << 16):
+    return BuddyAllocator(capacity, 64)
+
+
+class TestRounding:
+    def test_rounds_to_power_of_two(self):
+        a = make()
+        alloc = a.allocate(100)
+        assert alloc.padded_size == 128
+        alloc2 = a.allocate(129)
+        assert alloc2.padded_size == 256
+
+    def test_minimum_block(self):
+        a = make()
+        assert a.allocate(1).padded_size == 64
+
+    def test_internal_fragmentation_is_bounded_2x(self):
+        a = make()
+        for size in (65, 100, 1000, 5000):
+            alloc = a.allocate(size)
+            assert alloc.padded_size < 2 * max(size, 64)
+            a.free(alloc.offset)
+
+    def test_non_pow2_capacity_manages_prefix(self):
+        a = BuddyAllocator(100_000, 64)  # not a power of two
+        assert a.unmanaged_bytes == 100_000 - 65536
+        assert a.allocate(65536).padded_size == 65536
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(64)
+
+
+class TestBuddyMerging:
+    def test_buddies_coalesce_on_free(self):
+        a = make(capacity=1024)
+        x = a.allocate(512)
+        y = a.allocate(512)
+        a.free(x.offset)
+        a.free(y.offset)
+        assert a.largest_free == 1024
+        assert a.num_free_blocks == 1
+
+    def test_non_buddies_do_not_merge(self):
+        a = make(capacity=1024)
+        blocks = [a.allocate(256) for _ in range(4)]
+        # Free blocks 1 and 2: adjacent but NOT buddies (different parents).
+        a.free(blocks[1].offset)
+        a.free(blocks[2].offset)
+        assert a.largest_free == 256
+        assert a.num_free_blocks == 2
+
+    def test_cascading_merge(self):
+        a = make(capacity=1024)
+        blocks = [a.allocate(64) for _ in range(16)]
+        for b in blocks:
+            a.free(b.offset)
+        assert a.largest_free == 1024
+
+    def test_split_produces_usable_halves(self):
+        a = make(capacity=1024)
+        x = a.allocate(512)
+        y = a.allocate(256)
+        z = a.allocate(256)
+        assert {x.offset, y.offset, z.offset} == {0, 512, 768}
+
+
+class TestLimitsAndAccounting:
+    def test_oversize_request_fails(self):
+        a = make(capacity=1024)
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(2048)
+
+    def test_oom_when_full(self):
+        a = make(capacity=1024)
+        a.allocate(1024)
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(64)
+
+    def test_audit_through_workout(self):
+        a = make()
+        live = []
+        for i in range(100):
+            try:
+                live.append(a.allocate(1 + (i * 97) % 4000))
+            except OutOfMemoryError:
+                # Capacity pressure is a legitimate outcome; keep churning.
+                a.free(live.pop(0).offset)
+            if i % 4 == 0 and live:
+                a.free(live.pop(0).offset)
+            a.audit()
+        for alloc in live:
+            a.free(alloc.offset)
+        a.audit()
+        assert a.largest_free == 1 << 16
+
+    def test_deterministic_placement(self):
+        """min() choice over free sets gives reproducible layouts."""
+        layouts = []
+        for _ in range(2):
+            a = make()
+            allocs = [a.allocate(200) for _ in range(5)]
+            a.free(allocs[2].offset)
+            allocs.append(a.allocate(100))
+            layouts.append([x.offset for x in allocs])
+        assert layouts[0] == layouts[1]

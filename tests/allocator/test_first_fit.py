@@ -1,0 +1,159 @@
+"""FirstFitAllocator — the paper's replacement allocator."""
+
+import pytest
+
+from repro.allocator import FirstFitAllocator
+from repro.common.errors import AllocationError, OutOfMemoryError
+
+
+def make(capacity=1 << 16, alignment=64):
+    return FirstFitAllocator(capacity, alignment)
+
+
+class TestBasics:
+    def test_allocates_from_start(self):
+        a = make()
+        alloc = a.allocate(100)
+        assert alloc.offset == 0
+        assert alloc.size == 100
+        assert alloc.padded_size == 128  # aligned to 64
+
+    def test_sequential_allocations_are_disjoint(self):
+        a = make()
+        x = a.allocate(100)
+        y = a.allocate(200)
+        assert y.offset >= x.end
+
+    def test_free_and_reuse(self):
+        a = make()
+        x = a.allocate(1024)
+        a.free(x.offset)
+        y = a.allocate(1024)
+        assert y.offset == x.offset
+
+    def test_double_free_rejected(self):
+        a = make()
+        x = a.allocate(64)
+        a.free(x.offset)
+        with pytest.raises(AllocationError):
+            a.free(x.offset)
+
+    def test_free_unknown_offset_rejected(self):
+        with pytest.raises(AllocationError):
+            make().free(12345)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(AllocationError):
+            make().allocate(0)
+        with pytest.raises(AllocationError):
+            make().allocate(-5)
+
+    def test_oom_reports_sizes(self):
+        a = make(capacity=1024)
+        a.allocate(512)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            a.allocate(1024)
+        assert excinfo.value.requested == 1024
+        assert excinfo.value.largest_free == 512
+        assert a.stats().failed_allocs == 1
+
+    def test_full_capacity_allocatable(self):
+        a = make(capacity=4096)
+        alloc = a.allocate(4096)
+        assert alloc.padded_size == 4096
+        assert a.free_bytes == 0
+
+
+class TestPlacementPolicy:
+    def test_picks_smallest_adequate_block(self):
+        """The ordered-map lookup lands on the smallest block that fits."""
+        a = make(capacity=64 * 64)
+        blocks = [a.allocate(64) for _ in range(10)]
+        # Free two gaps: one of 1 block, one of 3 blocks.
+        a.free(blocks[2].offset)  # 64-byte hole
+        a.free(blocks[5].offset)
+        a.free(blocks[6].offset)
+        a.free(blocks[7].offset)  # 192-byte hole
+        got = a.allocate(64)
+        assert got.offset == blocks[2].offset
+
+    def test_splits_larger_block(self):
+        a = make(capacity=4096)
+        a.allocate(4096 - 128)
+        # Remaining 128 serves two 64-byte requests.
+        x = a.allocate(64)
+        y = a.allocate(64)
+        assert {x.padded_size, y.padded_size} == {64}
+        assert a.free_bytes == 0
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self):
+        a = make()
+        xs = [a.allocate(64) for _ in range(4)]
+        for x in xs:
+            a.free(x.offset)
+        assert a.num_free_blocks == 1
+        assert a.largest_free == a.capacity
+
+    def test_middle_free_bridges(self):
+        a = make(capacity=3 * 64)
+        x, y, z = (a.allocate(64) for _ in range(3))
+        a.free(x.offset)
+        a.free(z.offset)
+        assert a.num_free_blocks == 2
+        a.free(y.offset)
+        assert a.num_free_blocks == 1
+
+    def test_fragmentation_prevents_large_alloc_until_coalesce(self):
+        a = make(capacity=1024)
+        xs = [a.allocate(64) for _ in range(16)]
+        for x in xs[::2]:
+            a.free(x.offset)
+        assert a.free_bytes == 512
+        with pytest.raises(OutOfMemoryError):
+            a.allocate(512)
+        stats = a.stats()
+        assert stats.external_fragmentation > 0.5
+        for x in xs[1::2]:
+            a.free(x.offset)
+        assert a.allocate(1024).offset == 0
+
+
+class TestAccounting:
+    def test_stats_track_everything(self):
+        a = make()
+        x = a.allocate(100)
+        a.allocate(200)
+        a.free(x.offset)
+        s = a.stats()
+        assert s.total_allocs == 2
+        assert s.total_frees == 1
+        assert s.num_allocations == 1
+        assert s.used_bytes == 256
+        assert s.capacity == a.capacity
+        assert 0.0 <= s.utilization <= 1.0
+
+    def test_audit_passes_through_a_workout(self):
+        a = make()
+        live = []
+        for i in range(50):
+            live.append(a.allocate(64 + i * 13))
+            if i % 3 == 0 and live:
+                a.free(live.pop(0).offset)
+            a.audit()
+
+    def test_free_blocks_listing_ordered(self):
+        a = make()
+        x = a.allocate(64)
+        a.allocate(64)
+        a.free(x.offset)
+        blocks = a.free_blocks()
+        assert blocks == sorted(blocks)
+        assert blocks[0] == (0, 64)
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            FirstFitAllocator(1024, alignment=24)
+        with pytest.raises(ValueError):
+            FirstFitAllocator(0)

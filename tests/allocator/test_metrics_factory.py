@@ -1,0 +1,66 @@
+"""Fragmentation metrics and the allocator factory."""
+
+import pytest
+
+from repro.allocator import (
+    ALLOCATOR_NAMES,
+    BuddyAllocator,
+    DlMallocAllocator,
+    FirstFitAllocator,
+    create_allocator,
+    fragmentation_report,
+)
+
+
+class TestFactory:
+    def test_names_map_to_classes(self):
+        assert isinstance(create_allocator("first_fit", 1024), FirstFitAllocator)
+        assert isinstance(create_allocator("dlmalloc", 1024), DlMallocAllocator)
+        assert isinstance(create_allocator("buddy", 1024), BuddyAllocator)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocator"):
+            create_allocator("tcmalloc", 1024)
+
+    def test_names_tuple_is_complete(self):
+        for name in ALLOCATOR_NAMES:
+            create_allocator(name, 4096)
+
+    def test_alignment_forwarded(self):
+        a = create_allocator("first_fit", 4096, alignment=256)
+        assert a.allocate(1).padded_size == 256
+
+
+class TestFragmentationReport:
+    def test_pristine_allocator_has_no_fragmentation(self):
+        a = create_allocator("first_fit", 1 << 16)
+        r = fragmentation_report("first_fit", a)
+        assert r.external_fragmentation == 0.0
+        assert r.internal_fragmentation == 0.0
+        assert r.free_bytes == r.capacity
+
+    def test_checkerboard_shows_external_fragmentation(self):
+        a = create_allocator("first_fit", 1024)
+        xs = [a.allocate(64) for _ in range(16)]
+        for x in xs[::2]:
+            a.free(x.offset)
+        r = fragmentation_report("first_fit", a)
+        assert r.external_fragmentation > 0.8
+        assert r.num_free_blocks == 8
+
+    def test_buddy_shows_internal_fragmentation(self):
+        a = create_allocator("buddy", 1 << 16)
+        a.allocate(65)  # reserved 128 -> ~49% padding
+        r = fragmentation_report("buddy", a)
+        assert r.internal_fragmentation > 0.4
+
+    def test_format_row_mentions_name(self):
+        a = create_allocator("dlmalloc", 4096)
+        assert "dlmalloc" in fragmentation_report("dlmalloc", a).format_row()
+
+    def test_full_allocator(self):
+        a = create_allocator("first_fit", 4096)
+        a.allocate(4096)
+        r = fragmentation_report("first_fit", a)
+        assert r.external_fragmentation == 0.0  # no free space at all
+        assert r.used_bytes == 4096

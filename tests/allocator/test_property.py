@@ -1,0 +1,110 @@
+"""Property-based trace replay over all three allocators.
+
+Any random alloc/free trace must preserve the core invariants on every
+allocator: disjoint live blocks, in-bounds, conservation of accounting,
+and audits passing throughout.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.allocator import BuddyAllocator, DlMallocAllocator, FirstFitAllocator
+from repro.common.errors import OutOfMemoryError
+
+CAPACITY = 1 << 16
+
+allocator_cls = st.sampled_from([FirstFitAllocator, DlMallocAllocator, BuddyAllocator])
+
+# A trace step: positive = allocate that size; negative = free the n-th
+# oldest live allocation (modulo live count).
+trace = st.lists(
+    st.one_of(
+        st.integers(1, 8192),
+        st.integers(-20, -1),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(allocator_cls, trace)
+def test_invariants_hold_through_any_trace(cls, steps):
+    alloc = cls(CAPACITY, 64)
+    live = []
+    for step in steps:
+        if step > 0:
+            try:
+                a = alloc.allocate(step)
+            except OutOfMemoryError:
+                continue
+            assert a.padded_size >= step
+            assert 0 <= a.offset and a.end <= CAPACITY
+            live.append(a)
+        elif live:
+            victim = live.pop(abs(step) % len(live))
+            alloc.free(victim.offset)
+        # Invariants after every step.
+        alloc.audit()
+        listed = alloc.live_allocations()
+        assert len(listed) == len(live)
+        assert alloc.used_bytes == sum(a.padded_size for a in live)
+        assert alloc.used_bytes + alloc.free_bytes == CAPACITY
+        # Disjointness of live blocks.
+        spans = sorted((a.offset, a.end) for a in listed)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+@settings(max_examples=60, deadline=None)
+@given(allocator_cls, trace)
+def test_free_everything_restores_full_capacity(cls, steps):
+    alloc = cls(CAPACITY, 64)
+    live = []
+    for step in steps:
+        if step > 0:
+            try:
+                live.append(alloc.allocate(step))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            alloc.free(live.pop(abs(step) % len(live)).offset)
+    for a in live:
+        alloc.free(a.offset)
+    alloc.audit()
+    assert alloc.used_bytes == 0
+    assert alloc.num_allocations == 0
+    # After freeing everything, one maximal region must be allocatable.
+    managed = CAPACITY - getattr(alloc, "unmanaged_bytes", 0)
+    big = alloc.allocate(managed)
+    assert big.offset == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace)
+def test_first_fit_and_dlmalloc_never_lose_bytes(steps):
+    """Replaying the same trace through both non-buddy allocators conserves
+    byte accounting identically (placements may differ)."""
+    ff = FirstFitAllocator(CAPACITY, 64)
+    dl = DlMallocAllocator(CAPACITY, 64)
+    live_ff, live_dl = [], []
+    for step in steps:
+        if step > 0:
+            try:
+                a1 = ff.allocate(step)
+            except OutOfMemoryError:
+                a1 = None
+            try:
+                a2 = dl.allocate(step)
+            except OutOfMemoryError:
+                a2 = None
+            if a1:
+                live_ff.append(a1)
+            if a2:
+                live_dl.append(a2)
+        else:
+            if live_ff:
+                ff.free(live_ff.pop(abs(step) % len(live_ff)).offset)
+            if live_dl:
+                dl.free(live_dl.pop(abs(step) % len(live_dl)).offset)
+    assert ff.used_bytes + ff.free_bytes == CAPACITY
+    assert dl.used_bytes + dl.free_bytes == CAPACITY

@@ -1,0 +1,223 @@
+"""Columnar layer: typed arrays and tables over the disaggregated store."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import ObjectStoreError
+from repro.columnar import (
+    ArraySchema,
+    column_object_id,
+    decode_schema,
+    encode_schema,
+    get_array,
+    get_table,
+    put_array,
+    put_table,
+)
+
+
+class TestSchema:
+    def test_roundtrip(self):
+        s = ArraySchema(dtype="<f8", shape=(4, 5), order="C")
+        assert decode_schema(encode_schema(s)) == s
+
+    def test_of_array(self):
+        a = np.arange(12, dtype=np.int32).reshape(3, 4)
+        s = ArraySchema.of(a)
+        assert s.shape == (3, 4)
+        assert s.nbytes == a.nbytes
+
+    def test_fortran_order(self):
+        a = np.asfortranarray(np.arange(6, dtype=np.float32).reshape(2, 3))
+        s = ArraySchema.of(a)
+        assert s.order == "F"
+
+    def test_non_contiguous_rejected(self):
+        a = np.arange(100).reshape(10, 10)[::2, ::2]
+        with pytest.raises(ObjectStoreError):
+            ArraySchema.of(a)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            ArraySchema(dtype="not-a-dtype", shape=(1,))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            ArraySchema(dtype="<i4", shape=(1,), order="Z")
+
+    def test_empty_metadata_rejected(self):
+        with pytest.raises(ObjectStoreError):
+            decode_schema(b"")
+
+    def test_non_array_metadata_rejected(self):
+        from repro.rpc.codec import encode_message
+
+        with pytest.raises(ObjectStoreError):
+            decode_schema(encode_message({"kind": "blob"}))
+
+    def test_column_ids_deterministic_and_distinct(self, ids):
+        tid = ids.next()
+        a = column_object_id(tid, "x")
+        assert a == column_object_id(tid, "x")
+        assert a != column_object_id(tid, "y")
+        assert a != column_object_id(ids.next(), "x")
+
+
+class TestArrays:
+    def test_local_roundtrip(self, cluster):
+        client = cluster.client("node0")
+        data = np.arange(1000, dtype=np.float64)
+        oid = cluster.new_object_id()
+        put_array(client, oid, data)
+        with get_array(client, oid) as ref:
+            assert np.array_equal(ref.array, data)
+            assert ref.dtype == np.float64
+
+    def test_remote_zero_copy_view(self, cluster):
+        producer = cluster.client("node0")
+        consumer = cluster.client("node1")
+        matrix = np.arange(64, dtype=np.int64).reshape(8, 8)
+        oid = cluster.new_object_id()
+        put_array(producer, oid, matrix)
+        with get_array(consumer, oid) as ref:
+            # Computation directly on the remote-backed view.
+            assert int(ref.array.trace()) == int(matrix.trace())
+            assert ref.shape == (8, 8)
+
+    def test_views_are_read_only(self, cluster):
+        client = cluster.client("node0")
+        oid = cluster.new_object_id()
+        put_array(client, oid, np.ones(10, dtype=np.uint8))
+        with get_array(client, oid) as ref:
+            with pytest.raises(ValueError):
+                ref.array[0] = 7
+
+    def test_copy_is_mutable(self, cluster):
+        client = cluster.client("node0")
+        oid = cluster.new_object_id()
+        put_array(client, oid, np.zeros(4, dtype=np.int16))
+        with get_array(client, oid) as ref:
+            mine = ref.copy()
+            mine[0] = 5
+            assert ref.array[0] == 0
+
+    def test_release_semantics(self, cluster):
+        client = cluster.client("node0")
+        oid = cluster.new_object_id()
+        put_array(client, oid, np.arange(5, dtype=np.int8))
+        ref = get_array(client, oid)
+        ref.release()
+        assert ref.is_released
+        with pytest.raises(ObjectStoreError):
+            _ = ref.array
+        ref.release()  # idempotent
+
+    def test_fortran_array_roundtrip(self, cluster):
+        client = cluster.client("node0")
+        a = np.asfortranarray(np.arange(12, dtype=np.float32).reshape(3, 4))
+        oid = cluster.new_object_id()
+        put_array(client, oid, a)
+        with get_array(client, oid) as ref:
+            assert np.array_equal(ref.array, a)
+
+    def test_empty_array_rejected(self, cluster):
+        client = cluster.client("node0")
+        with pytest.raises(ObjectStoreError):
+            put_array(client, cluster.new_object_id(), np.empty(0))
+
+    def test_non_array_object_rejected_by_get(self, cluster):
+        client = cluster.client("node0")
+        oid = cluster.new_object_id()
+        client.put_bytes(oid, b"just-bytes")
+        with pytest.raises(ObjectStoreError):
+            get_array(client, oid)
+        # The failed get must not leak a reference.
+        assert client.held_ids() == []
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        dtype=st.sampled_from(["<i4", "<f8", "u1", "<u2"]),
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    )
+    def test_roundtrip_property(self, cluster_factory, dtype, shape):
+        cluster = cluster_factory()
+        client = cluster.client("node0")
+        consumer = cluster.client("node1")
+        n = shape[0] * shape[1]
+        data = (np.arange(n) % 251).astype(dtype).reshape(shape)
+        oid = cluster.new_object_id()
+        put_array(client, oid, data)
+        with get_array(consumer, oid) as ref:
+            assert ref.array.dtype == np.dtype(dtype)
+            assert np.array_equal(ref.array, data)
+
+
+class TestTables:
+    def test_table_roundtrip_across_nodes(self, cluster):
+        producer = cluster.client("node0")
+        consumer = cluster.client("node1")
+        tid = cluster.new_object_id()
+        cols = {
+            "ts": np.arange(100, dtype=np.int64),
+            "value": np.linspace(0, 1, 100),
+            "flag": (np.arange(100) % 2).astype(np.uint8),
+        }
+        put_table(producer, tid, cols)
+        with get_table(consumer, tid) as table:
+            assert set(table.column_names) == set(cols)
+            assert table.rows == 100
+            for name, expected in cols.items():
+                assert np.array_equal(table[name], expected)
+
+    def test_ragged_rejected(self, cluster):
+        client = cluster.client("node0")
+        with pytest.raises(ObjectStoreError, match="ragged"):
+            put_table(
+                client,
+                cluster.new_object_id(),
+                {"a": np.zeros(3), "b": np.zeros(4)},
+            )
+
+    def test_empty_rejected(self, cluster):
+        client = cluster.client("node0")
+        with pytest.raises(ObjectStoreError):
+            put_table(client, cluster.new_object_id(), {})
+
+    def test_unknown_column_error(self, cluster):
+        client = cluster.client("node0")
+        tid = cluster.new_object_id()
+        put_table(client, tid, {"only": np.zeros(2)})
+        with get_table(client, tid) as table:
+            with pytest.raises(ObjectStoreError, match="no column"):
+                table.column("missing")
+
+    def test_non_table_object_rejected(self, cluster):
+        client = cluster.client("node0")
+        oid = cluster.new_object_id()
+        put_array(client, oid, np.zeros(3))
+        with pytest.raises(Exception):
+            get_table(client, oid)
+
+    def test_release_frees_all_columns(self, cluster):
+        client = cluster.client("node0")
+        tid = cluster.new_object_id()
+        put_table(client, tid, {"a": np.zeros(2), "b": np.ones(2)})
+        table = get_table(client, tid)
+        table.release()
+        assert client.held_ids() == []
+        with pytest.raises(ObjectStoreError):
+            table.column("a")
+
+    def test_columns_individually_addressable(self, cluster):
+        """Any node can fetch a single column without touching the rest."""
+        producer = cluster.client("node0")
+        consumer = cluster.client("node1")
+        tid = cluster.new_object_id()
+        put_table(producer, tid, {"x": np.arange(10), "y": np.arange(10) * 2})
+        with get_array(consumer, column_object_id(tid, "y")) as ref:
+            assert ref.array[9] == 18

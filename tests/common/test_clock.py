@@ -1,0 +1,75 @@
+"""SimClock / Stopwatch semantics."""
+
+import pytest
+
+from repro.common.clock import NS_PER_MS, NS_PER_S, NS_PER_US, SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now_ns == 350
+
+    def test_advance_rounds_fractional_ns(self):
+        clock = SimClock()
+        clock.advance(0.6)
+        assert clock.now_ns == 1
+
+    def test_advance_rejects_negative(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_now_s_conversion(self):
+        clock = SimClock()
+        clock.advance(2 * NS_PER_S)
+        assert clock.now_s == pytest.approx(2.0)
+
+    def test_unit_constants(self):
+        assert NS_PER_S == 1000 * NS_PER_MS == 1_000_000 * NS_PER_US
+
+
+class TestStopwatch:
+    def test_measures_interval(self):
+        clock = SimClock()
+        sw = Stopwatch(clock).start()
+        clock.advance(1234)
+        assert sw.stop() == 1234
+        assert sw.elapsed_ns == 1234
+
+    def test_context_manager(self):
+        clock = SimClock()
+        with Stopwatch(clock) as sw:
+            clock.advance(10)
+            clock.advance(5)
+        assert sw.elapsed_ns == 15
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch(SimClock()).stop()
+
+    def test_elapsed_before_stop_raises(self):
+        sw = Stopwatch(SimClock()).start()
+        with pytest.raises(RuntimeError):
+            _ = sw.elapsed_ns
+
+    def test_restart_resets(self):
+        clock = SimClock()
+        sw = Stopwatch(clock).start()
+        clock.advance(100)
+        sw.stop()
+        sw.start()
+        clock.advance(7)
+        assert sw.stop() == 7

@@ -1,0 +1,75 @@
+"""Deterministic RNG discipline."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_different_names_differ(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_name_path_is_not_concatenation(self):
+        # ("ab",) and ("a","b") must be distinct streams.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(42), DeterministicRng(42)
+        assert a.bytes(32) == b.bytes(32)
+        assert a.uniform(0, 1) == b.uniform(0, 1)
+        assert a.integer(0, 1000) == b.integer(0, 1000)
+
+    def test_spawn_is_independent_of_parent_consumption(self):
+        a = DeterministicRng(42)
+        a.bytes(100)  # consume parent
+        child1 = a.spawn("x")
+        child2 = DeterministicRng(42).spawn("x")
+        assert child1.bytes(16) == child2.bytes(16)
+
+    def test_spawned_streams_differ(self):
+        root = DeterministicRng(42)
+        assert root.spawn("x").bytes(16) != root.spawn("y").bytes(16)
+
+    def test_payload_shape_and_range(self, rng):
+        data = rng.payload(1000)
+        assert data.shape == (1000,)
+        assert data.dtype.name == "uint8"
+        assert 0 <= int(data.min()) and int(data.max()) <= 255
+
+    def test_lognormal_jitter_median_near_one(self):
+        rng = DeterministicRng(7)
+        draws = [rng.lognormal_jitter(0.2) for _ in range(4000)]
+        draws.sort()
+        median = draws[len(draws) // 2]
+        assert 0.95 < median < 1.05
+
+    def test_lognormal_jitter_zero_sigma_is_identity(self, rng):
+        assert rng.lognormal_jitter(0.0) == 1.0
+        assert rng.lognormal_jitter(-1.0) == 1.0
+
+    def test_integer_bounds(self, rng):
+        for _ in range(100):
+            v = rng.integer(5, 10)
+            assert 5 <= v < 10
+
+    def test_choice_and_shuffle_are_deterministic(self):
+        a, b = DeterministicRng(3), DeterministicRng(3)
+        seq_a, seq_b = list(range(20)), list(range(20))
+        a.shuffle(seq_a)
+        b.shuffle(seq_b)
+        assert seq_a == seq_b
+        assert a.choice([1, 2, 3]) == b.choice([1, 2, 3])
+
+    def test_normal_is_deterministic(self):
+        assert DeterministicRng(9).normal(0, 1) == DeterministicRng(9).normal(0, 1)
+
+    def test_seed_property(self):
+        assert DeterministicRng(77).seed == 77

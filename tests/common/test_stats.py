@@ -1,0 +1,134 @@
+"""RunningStats (Welford), Distribution quantiles, counters."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Counter, Distribution, RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty_raises(self):
+        s = RunningStats()
+        with pytest.raises(ValueError):
+            _ = s.mean
+        with pytest.raises(ValueError):
+            _ = s.min
+
+    def test_single_sample(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.stdev == pytest.approx(math.sqrt(32.0 / 7.0))
+        assert s.count == 8
+        assert (s.min, s.max) == (2.0, 9.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_batch_computation(self, xs):
+        s = RunningStats()
+        s.extend(xs)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, xs, ys):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+        assert merged.min == c.min and merged.max == c.max
+
+    def test_merge_with_empty(self):
+        a, b = RunningStats(), RunningStats()
+        a.extend([1.0, 2.0])
+        assert a.merge(b).mean == pytest.approx(1.5)
+        assert b.merge(a).count == 2
+
+
+class TestDistribution:
+    def test_quantiles_of_known_data(self):
+        d = Distribution()
+        d.extend(range(1, 101))  # 1..100
+        assert d.median == pytest.approx(50.5)
+        q1, q3 = d.iqr()
+        assert q1 == pytest.approx(25.75)
+        assert q3 == pytest.approx(75.25)
+        assert d.min == 1 and d.max == 100
+        assert d.mean == pytest.approx(50.5)
+
+    def test_quantile_bounds_checked(self):
+        d = Distribution()
+        d.add(1.0)
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+        assert d.quantile(0.0) == d.quantile(1.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Distribution().quantile(0.5)
+        with pytest.raises(ValueError):
+            _ = Distribution().mean
+
+    def test_summary_fields(self):
+        d = Distribution()
+        d.extend([1.0, 2.0, 3.0, 4.0])
+        s = d.summary()
+        assert s.count == 4
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.q1 <= s.median <= s.q3
+        assert "median" in s.format(unit="ms")
+
+    def test_samples_returns_copy(self):
+        d = Distribution()
+        d.add(1.0)
+        d.samples.append(99.0)
+        assert d.count == 1
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_quantiles_monotone(self, xs):
+        d = Distribution()
+        d.extend(xs)
+        qs = [d.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+        assert qs[0] == d.min and qs[-1] == d.max
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        c = Counter()
+        c.inc("x")
+        c.inc("x", 4)
+        assert c.get("x") == 5
+        assert c.get("missing") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc("x", -1)
+
+    def test_snapshot_is_copy(self):
+        c = Counter()
+        c.inc("a")
+        snap = c.snapshot()
+        snap["a"] = 99
+        assert c.get("a") == 1

@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic clusters and building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.config import ClusterConfig, testing_config
+from repro.common.ids import UniqueIDGenerator
+from repro.common.rng import DeterministicRng
+from repro.common.units import MiB
+from repro.core import Cluster
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    return testing_config(capacity_bytes=32 * MiB, seed=99)
+
+
+@pytest.fixture
+def cluster(small_config) -> Cluster:
+    """A 2-node disaggregated cluster with batched uniqueness checks."""
+    return Cluster(small_config, n_nodes=2, check_remote_uniqueness=False)
+
+
+@pytest.fixture
+def cluster_paper_mode(small_config) -> Cluster:
+    """A 2-node cluster with the paper's per-create uniqueness RPCs."""
+    return Cluster(small_config, n_nodes=2, check_remote_uniqueness=True)
+
+
+@pytest.fixture
+def ids(rng) -> UniqueIDGenerator:
+    return UniqueIDGenerator(rng.spawn("test-ids"))
+
+
+@pytest.fixture
+def cluster_factory(small_config):
+    """Fresh clusters on demand — for hypothesis tests, which must not
+    share function-scoped state across examples."""
+
+    def make() -> Cluster:
+        return Cluster(small_config, n_nodes=2, check_remote_uniqueness=False)
+
+    return make

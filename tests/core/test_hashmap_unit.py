@@ -1,0 +1,165 @@
+"""DisaggregatedHashMap: home-side directory + remote timed reader."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.common.config import FabricLinkConfig, LocalMemoryConfig
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.common.rng import DeterministicRng
+from repro.common.units import MiB
+from repro.core.sharing import (
+    BUCKET_SIZE,
+    DisaggregatedHashMap,
+    RemoteHashMapReader,
+    directory_bytes,
+)
+from repro.thymesisflow import ThymesisFabric
+
+
+def oid(i):
+    return ObjectID.from_int(i)
+
+
+@pytest.fixture
+def home_map():
+    fab = ThymesisFabric(
+        SimClock(), FabricLinkConfig(), LocalMemoryConfig(), DeterministicRng(9)
+    )
+    ep = fab.add_node("home", 2 * MiB)
+    region = ep.expose(0, 2 * MiB)
+    return DisaggregatedHashMap(region.subregion(0, directory_bytes(128)), 128)
+
+
+class TestHomeSide:
+    def test_insert_lookup_remove(self, home_map):
+        home_map.insert(oid(1), offset=4096, data_size=100)
+        assert home_map.local_lookup(oid(1)) == (4096, 100)
+        assert home_map.remove(oid(1))
+        assert home_map.local_lookup(oid(1)) is None
+        assert not home_map.remove(oid(1))
+
+    def test_duplicate_insert_rejected(self, home_map):
+        home_map.insert(oid(1), 0, 1)
+        with pytest.raises(ObjectStoreError):
+            home_map.insert(oid(1), 0, 1)
+
+    def test_collision_chain_via_linear_probing(self, home_map):
+        # Many ids in a 128-bucket table force probe chains.
+        for i in range(100):
+            home_map.insert(oid(i), i * 64, i + 1)
+        for i in range(100):
+            assert home_map.local_lookup(oid(i)) == (i * 64, i + 1)
+
+    def test_full_table_rejected(self):
+        fab = ThymesisFabric(
+            SimClock(), FabricLinkConfig(), LocalMemoryConfig(), DeterministicRng(9)
+        )
+        ep = fab.add_node("h", MiB)
+        region = ep.expose(0, MiB)
+        small = DisaggregatedHashMap(region.subregion(0, directory_bytes(4)), 4)
+        for i in range(4):
+            small.insert(oid(i), 0, 1)
+        with pytest.raises(ObjectStoreError):
+            small.insert(oid(99), 0, 1)
+
+    def test_tombstones_allow_reuse_and_continue_probes(self, home_map):
+        for i in range(20):
+            home_map.insert(oid(i), i, 1)
+        home_map.remove(oid(7))
+        # Later entries in the same probe chains stay findable.
+        for i in range(20):
+            if i != 7:
+                assert home_map.local_lookup(oid(i)) is not None
+        home_map.insert(oid(100), 5, 5)
+        assert home_map.local_lookup(oid(100)) == (5, 5)
+
+    def test_load_factor_and_count(self, home_map):
+        assert home_map.count == 0
+        home_map.insert(oid(1), 0, 1)
+        assert home_map.count == 1
+        assert home_map.load_factor == pytest.approx(1 / 128)
+
+    def test_region_too_small_rejected(self, home_map):
+        fab = ThymesisFabric(
+            SimClock(), FabricLinkConfig(), LocalMemoryConfig(), DeterministicRng(9)
+        )
+        ep = fab.add_node("h2", MiB)
+        region = ep.expose(0, 100)
+        with pytest.raises(ObjectStoreError):
+            DisaggregatedHashMap(region, 128)
+
+
+class TestRemoteReader:
+    @pytest.fixture
+    def pair(self):
+        fab = ThymesisFabric(
+            SimClock(),
+            FabricLinkConfig(jitter_sigma=0.0),
+            LocalMemoryConfig(jitter_sigma=0.0),
+            DeterministicRng(9),
+        )
+        home = fab.add_node("home", 2 * MiB)
+        reader_node = fab.add_node("reader", 2 * MiB)
+        reader_node.expose(0, MiB)
+        region = home.expose(0, 2 * MiB)
+        fab.connect("home", "reader")
+        hm = DisaggregatedHashMap(region.subregion(0, directory_bytes(64)), 64)
+        rr = fab.map_remote("reader", "home")
+        return fab, hm, RemoteHashMapReader(rr, 0, 64)
+
+    def test_remote_lookup_finds_entries(self, pair):
+        _, hm, reader = pair
+        hm.insert(oid(5), 12345, 678)
+        assert reader.lookup(oid(5)) == (12345, 678)
+
+    def test_remote_lookup_miss(self, pair):
+        _, hm, reader = pair
+        hm.insert(oid(5), 1, 1)
+        assert reader.lookup(oid(6)) is None
+
+    def test_each_probe_costs_a_fabric_round_trip(self, pair):
+        fab, hm, reader = pair
+        hm.insert(oid(5), 1, 1)
+        before = fab.clock.now_ns
+        reader.lookup(oid(5))
+        elapsed = fab.clock.now_ns - before
+        added = FabricLinkConfig().added_latency_ns
+        assert elapsed >= added * 0.9
+        assert reader.probes >= 1
+
+    def test_reader_sees_home_updates_coherently(self, pair):
+        """Fig 3a: home-side inserts are immediately visible remotely."""
+        _, hm, reader = pair
+        assert reader.lookup(oid(1)) is None
+        hm.insert(oid(1), 7, 7)
+        assert reader.lookup(oid(1)) == (7, 7)
+        hm.remove(oid(1))
+        assert reader.lookup(oid(1)) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(0, 10_000), max_size=40))
+def test_directory_matches_dict_model(keys):
+    fab = ThymesisFabric(
+        SimClock(), FabricLinkConfig(), LocalMemoryConfig(), DeterministicRng(9)
+    )
+    ep = fab.add_node("h", MiB)
+    region = ep.expose(0, MiB)
+    hm = DisaggregatedHashMap(region.subregion(0, directory_bytes(128)), 128)
+    model = {}
+    for k in keys:
+        hm.insert(oid(k), k * 2, k + 1)
+        model[k] = (k * 2, k + 1)
+    for k in list(model)[::2]:
+        hm.remove(oid(k))
+        del model[k]
+    for k in range(0, 10_000, 97):
+        assert hm.local_lookup(oid(k)) == model.get(k)
+    assert hm.count == len(model)
+
+
+def test_bucket_size_is_one_cache_line():
+    assert BUCKET_SIZE == 64
+    assert directory_bytes(10) == 640

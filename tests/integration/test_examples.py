@@ -1,0 +1,28 @@
+"""Every example script must run to completion through the public API."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "wide_dependency_shuffle.py",
+        "genomics_pipeline.py",
+        "producer_consumer_pipeline.py",
+    } <= names

@@ -1,0 +1,168 @@
+"""IntervalSet: unit behaviour + hypothesis model check against a set of ints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_rejects_empty_and_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+        with pytest.raises(ValueError):
+            Interval(-1, 4)
+
+    def test_length_overlap_contains(self):
+        iv = Interval(10, 20)
+        assert iv.length == 10
+        assert iv.contains(10) and iv.contains(19) and not iv.contains(20)
+        assert iv.overlaps(Interval(19, 25))
+        assert not iv.overlaps(Interval(20, 25))
+
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 5).intersection(Interval(5, 10)) is None
+
+
+class TestIntervalSetBasics:
+    def test_add_coalesces_adjacent(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert list(s) == [Interval(0, 20)]
+        assert len(s) == 1
+
+    def test_add_coalesces_overlapping(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(5, 15)
+        s.add(30, 40)
+        assert list(s) == [Interval(0, 15), Interval(30, 40)]
+
+    def test_add_bridging_interval_merges_neighbours(self):
+        s = IntervalSet()
+        s.add(0, 5)
+        s.add(10, 15)
+        s.add(5, 10)
+        assert list(s) == [Interval(0, 15)]
+
+    def test_remove_splits(self):
+        s = IntervalSet()
+        s.add(0, 100)
+        s.remove(40, 60)
+        assert list(s) == [Interval(0, 40), Interval(60, 100)]
+
+    def test_remove_edges(self):
+        s = IntervalSet()
+        s.add(0, 100)
+        s.remove(0, 10)
+        s.remove(90, 100)
+        assert list(s) == [Interval(10, 90)]
+
+    def test_remove_absent_is_noop(self):
+        s = IntervalSet()
+        s.add(50, 60)
+        s.remove(0, 10)
+        assert list(s) == [Interval(50, 60)]
+
+    def test_remove_spanning_multiple(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(20, 30)
+        s.add(40, 50)
+        s.remove(5, 45)
+        assert list(s) == [Interval(0, 5), Interval(45, 50)]
+
+    def test_empty_query_rejected(self):
+        s = IntervalSet()
+        with pytest.raises(ValueError):
+            s.add(3, 3)
+        with pytest.raises(ValueError):
+            s.overlap(5, 5)
+
+    def test_covers_and_contains_point(self):
+        s = IntervalSet([Interval(10, 20)])
+        assert s.covers(10, 20)
+        assert s.covers(12, 15)
+        assert not s.covers(5, 15)
+        assert not s.covers(15, 25)
+        assert s.contains_point(10) and not s.contains_point(20)
+
+    def test_overlap_counts(self):
+        s = IntervalSet([Interval(0, 10), Interval(20, 30)])
+        assert s.overlap(5, 25) == 10
+        assert s.total() == 20
+
+    def test_intersecting_clips(self):
+        s = IntervalSet([Interval(0, 10), Interval(20, 30)])
+        assert s.intersecting(5, 25) == [Interval(5, 10), Interval(20, 25)]
+
+    def test_copy_is_independent(self):
+        s = IntervalSet([Interval(0, 10)])
+        t = s.copy()
+        t.add(20, 30)
+        assert s != t
+        assert s.total() == 10
+
+    def test_clear(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.clear()
+        assert not s
+        assert s.total() == 0
+
+
+# -- model-based property test ------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(0, 200),
+        st.integers(1, 50),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200)
+@given(ops)
+def test_matches_reference_set_of_ints(operations):
+    """The interval set must behave exactly like a plain set of integers."""
+    s = IntervalSet()
+    model: set[int] = set()
+    for op, start, length in operations:
+        stop = start + length
+        if op == "add":
+            s.add(start, stop)
+            model |= set(range(start, stop))
+        else:
+            s.remove(start, stop)
+            model -= set(range(start, stop))
+        # Structural invariants: sorted, disjoint, non-adjacent.
+        ivs = list(s)
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.stop < b.start
+        # Semantic equivalence.
+        assert s.total() == len(model)
+        for probe in range(0, 260, 7):
+            assert s.contains_point(probe) == (probe in model)
+
+
+@settings(max_examples=100)
+@given(ops, st.integers(0, 250), st.integers(1, 30))
+def test_overlap_matches_reference(operations, qstart, qlen):
+    s = IntervalSet()
+    model: set[int] = set()
+    for op, start, length in operations:
+        stop = start + length
+        if op == "add":
+            s.add(start, stop)
+            model |= set(range(start, stop))
+        else:
+            s.remove(start, stop)
+            model -= set(range(start, stop))
+    qstop = qstart + qlen
+    assert s.overlap(qstart, qstop) == len(model & set(range(qstart, qstop)))
+    assert s.covers(qstart, qstop) == set(range(qstart, qstop)).issubset(model)

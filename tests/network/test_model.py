@@ -1,0 +1,55 @@
+"""TransferModel cost arithmetic."""
+
+import pytest
+
+from repro.common.clock import NS_PER_S
+from repro.common.rng import DeterministicRng
+from repro.common.units import GiB
+from repro.network.model import TransferModel
+
+
+def make(latency=1000.0, bw=1 * GiB, sigma=0.0):
+    return TransferModel(latency, bw, sigma, DeterministicRng(1))
+
+
+class TestCost:
+    def test_zero_bytes_costs_latency_only(self):
+        assert make().cost_ns(0) == pytest.approx(1000.0)
+
+    def test_bandwidth_term(self):
+        m = make(latency=0.0)
+        assert m.cost_ns(GiB) == pytest.approx(NS_PER_S)  # 1 GiB at 1 GiB/s
+
+    def test_expected_cost_is_jitter_free(self):
+        m = TransferModel(100.0, GiB, 0.5, DeterministicRng(1))
+        assert m.expected_cost_ns(1024) == pytest.approx(100.0 + 1024 / GiB * NS_PER_S)
+
+    def test_jitter_varies_but_centres_on_base(self):
+        m = TransferModel(0.0, GiB, 0.2, DeterministicRng(3))
+        costs = [m.cost_ns(GiB) for _ in range(500)]
+        assert min(costs) < NS_PER_S < max(costs)
+        costs.sort()
+        assert costs[250] == pytest.approx(NS_PER_S, rel=0.1)
+
+    def test_ns_per_byte(self):
+        assert make(bw=2 * GiB).ns_per_byte == pytest.approx(NS_PER_S / (2 * GiB))
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make(latency=-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            make(bw=0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            TransferModel(0, GiB, -0.1, DeterministicRng(1))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make().cost_ns(-1)
+        with pytest.raises(ValueError):
+            make().expected_cost_ns(-1)

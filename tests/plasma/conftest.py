@@ -1,0 +1,48 @@
+"""Standalone single-node Plasma fixtures."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.config import IpcConfig, LocalMemoryConfig, StoreConfig
+from repro.common.rng import DeterministicRng
+from repro.common.units import MiB
+from repro.memory.host import HostMemory
+from repro.network.ipc import IpcChannel
+from repro.plasma import PlasmaClient, PlasmaStore
+from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def endpoint(clock):
+    mem = HostMemory(16 * MiB, node="n0")
+    return ThymesisEndpoint(
+        "n0", mem, clock, LocalMemoryConfig(jitter_sigma=0.0), DeterministicRng(4)
+    )
+
+
+@pytest.fixture
+def store(clock, endpoint):
+    return PlasmaStore(
+        "store0",
+        endpoint,
+        endpoint.memory.whole(),
+        StoreConfig(capacity_bytes=16 * MiB),
+        clock,
+    )
+
+
+@pytest.fixture
+def client(clock, store):
+    ipc = IpcChannel(clock, IpcConfig(jitter_sigma=0.0), DeterministicRng(6))
+    return PlasmaClient("c0", store, ipc)
+
+
+@pytest.fixture
+def second_client(clock, store):
+    ipc = IpcChannel(clock, IpcConfig(jitter_sigma=0.0), DeterministicRng(7))
+    return PlasmaClient("c1", store, ipc)

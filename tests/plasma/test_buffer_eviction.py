@@ -1,0 +1,118 @@
+"""PlasmaBuffer mechanics and LruEvictionPolicy planning."""
+
+import pytest
+
+from repro.allocator.base import Allocation
+from repro.common.errors import ObjectStoreError
+from repro.common.ids import ObjectID
+from repro.plasma.entry import ObjectEntry
+from repro.plasma.eviction import LruEvictionPolicy
+from repro.plasma.table import ObjectTable
+
+
+def oid(i):
+    return ObjectID.from_int(i)
+
+
+class TestBufferReads:
+    def test_read_into_too_small_rejected(self, client):
+        client.put_bytes(oid(1), b"0123456789")
+        buf = client.get_one(oid(1))
+        with pytest.raises(ObjectStoreError):
+            buf.read_into(bytearray(5))
+
+    def test_read_into_larger_buffer_fills_prefix(self, client):
+        client.put_bytes(oid(1), b"abcde")
+        buf = client.get_one(oid(1))
+        out = bytearray(10)
+        buf.read_into(out)
+        assert bytes(out[:5]) == b"abcde"
+
+    def test_charge_sequential_read_advances_clock_only(self, client, clock):
+        client.put_bytes(oid(1), bytes(1 << 16))
+        buf = client.get_one(oid(1))
+        before = clock.now_ns
+        buf.charge_sequential_read()
+        assert clock.now_ns > before
+
+    def test_len_nbytes_location(self, client):
+        client.put_bytes(oid(1), b"sized")
+        buf = client.get_one(oid(1))
+        assert len(buf) == buf.nbytes == 5
+        assert buf.location == "local:n0"
+        assert not buf.is_remote
+        assert "sealed" in repr(buf)
+
+    def test_charge_sequential_write_requires_unsealed(self, client):
+        buf = client.create(oid(1), 128)
+        buf.charge_sequential_write()
+        client.seal(oid(1))
+        from repro.common.errors import ObjectSealedError
+
+        with pytest.raises(ObjectSealedError):
+            buf.charge_sequential_write()
+
+
+def make_table(sizes, sealed=True):
+    table = ObjectTable()
+    entries = []
+    offset = 0
+    for i, size in enumerate(sizes):
+        e = ObjectEntry(
+            object_id=oid(i),
+            allocation=Allocation(offset=offset, size=size, padded_size=size),
+            data_size=size,
+        )
+        table.insert(e)
+        if sealed:
+            table.seal(e.object_id, 1)
+        entries.append(e)
+        offset += size
+    return table, entries
+
+
+class TestEvictionPolicy:
+    def test_frees_at_least_requested(self):
+        table, _ = make_table([1000] * 10)
+        policy = LruEvictionPolicy(capacity_bytes=10_000, batch_fraction=0.2)
+        decision = policy.plan(table, required_bytes=1500)
+        assert decision.freed_bytes >= 1500
+
+    def test_batch_fraction_rounds_up(self):
+        table, _ = make_table([1000] * 10)
+        policy = LruEvictionPolicy(capacity_bytes=10_000, batch_fraction=0.5)
+        decision = policy.plan(table, required_bytes=100)
+        assert decision.freed_bytes >= 5000  # half of capacity
+
+    def test_lru_order_of_victims(self):
+        table, entries = make_table([1000] * 5)
+        # Touch entry 0: most recently used.
+        table.add_ref(entries[0].object_id)
+        table.release_ref(entries[0].object_id)
+        policy = LruEvictionPolicy(capacity_bytes=5000, batch_fraction=0.01)
+        decision = policy.plan(table, required_bytes=1000)
+        assert decision.victims[0] is entries[1]
+
+    def test_unsealed_never_chosen(self):
+        table, _ = make_table([1000] * 3, sealed=False)
+        policy = LruEvictionPolicy(capacity_bytes=3000)
+        decision = policy.plan(table, required_bytes=1000)
+        assert decision.victims == []
+        assert decision.freed_bytes == 0
+
+    def test_partial_when_insufficient(self):
+        table, entries = make_table([1000] * 3)
+        table.add_ref(entries[2].object_id)  # pin one
+        policy = LruEvictionPolicy(capacity_bytes=3000, batch_fraction=1.0)
+        decision = policy.plan(table, required_bytes=3000)
+        assert decision.freed_bytes == 2000
+        assert decision.victim_ids == [entries[0].object_id, entries[1].object_id]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruEvictionPolicy(0)
+        with pytest.raises(ValueError):
+            LruEvictionPolicy(100, batch_fraction=0.0)
+        table, _ = make_table([100])
+        with pytest.raises(ValueError):
+            LruEvictionPolicy(100).plan(table, required_bytes=0)

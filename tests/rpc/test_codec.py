@@ -1,0 +1,129 @@
+"""Wire codec: exhaustive round-trips + malformed-input rejection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpc.codec import MessageError, decode_message, encode_message
+
+
+class TestRoundTrips:
+    def test_empty_message(self):
+        assert decode_message(encode_message({})) == {}
+
+    def test_scalars(self):
+        msg = {
+            "none": None,
+            "t": True,
+            "f": False,
+            "int": 42,
+            "neg": -7,
+            "big": 2**62,
+            "float": 3.14159,
+            "bytes": b"\x00\xff raw",
+            "str": "unicode ✓ text",
+        }
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_nested_structures(self):
+        msg = {
+            "list": [1, "two", b"three", None, True],
+            "dict": {"inner": {"deep": [1, 2, 3]}},
+            "descriptors": [
+                {"object_id": b"x" * 20, "offset": 4096, "data_size": 1000},
+                {"object_id": b"y" * 20, "offset": 8192, "data_size": 2000},
+            ],
+        }
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_empty_containers(self):
+        msg = {"l": [], "d": {}, "s": "", "b": b""}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_int_boundaries(self):
+        for v in (0, 1, -1, 127, 128, 2**63 - 1, -(2**63)):
+            assert decode_message(encode_message({"v": v}))["v"] == v
+
+    def test_deterministic_encoding(self):
+        msg = {"a": 1, "b": [b"x" * 20]}
+        assert encode_message(msg) == encode_message(msg)
+
+    def test_bytearray_and_memoryview_become_bytes(self):
+        msg = {"ba": bytearray(b"abc"), "mv": memoryview(b"def")}
+        out = decode_message(encode_message(msg))
+        assert out == {"ba": b"abc", "mv": b"def"}
+
+    def test_tuple_becomes_list(self):
+        assert decode_message(encode_message({"t": (1, 2)}))["t"] == [1, 2]
+
+    @settings(max_examples=200)
+    @given(
+        st.dictionaries(
+            st.text(max_size=20),
+            st.recursive(
+                st.one_of(
+                    st.none(),
+                    st.booleans(),
+                    st.integers(-(2**63), 2**63 - 1),
+                    st.floats(allow_nan=False),
+                    st.binary(max_size=64),
+                    st.text(max_size=64),
+                ),
+                lambda inner: st.one_of(
+                    st.lists(inner, max_size=5),
+                    st.dictionaries(st.text(max_size=10), inner, max_size=5),
+                ),
+                max_leaves=20,
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+
+class TestRejection:
+    def test_non_dict_message_rejected_on_encode(self):
+        with pytest.raises(MessageError):
+            encode_message([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(MessageError):
+            encode_message({"x": object()})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(MessageError):
+            encode_message({1: "x"})  # type: ignore[dict-item]
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(MessageError):
+            encode_message({"x": 2**64})
+
+    def test_excessive_nesting_rejected(self):
+        msg: dict = {"x": None}
+        for _ in range(20):
+            msg = {"n": msg}
+        with pytest.raises(MessageError):
+            encode_message(msg)
+
+    def test_truncated_wire_rejected(self):
+        wire = encode_message({"k": b"0123456789"})
+        with pytest.raises(MessageError):
+            decode_message(wire[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        wire = encode_message({"k": 1})
+        with pytest.raises(MessageError):
+            decode_message(wire + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(MessageError):
+            decode_message(b"\x63")
+
+    def test_non_dict_top_level_rejected(self):
+        # Tag 3 (int) zigzag-encoded 0 -> not a dict at top level.
+        with pytest.raises(MessageError):
+            decode_message(b"\x03\x00")
+
+    def test_empty_wire_rejected(self):
+        with pytest.raises(MessageError):
+            decode_message(b"")

@@ -1,0 +1,35 @@
+"""Codec robustness: arbitrary bytes must never crash the decoder."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rpc.codec import MessageError, decode_message, encode_message
+
+
+@settings(max_examples=500)
+@given(st.binary(max_size=200))
+def test_decode_arbitrary_bytes_never_crashes(data):
+    """Any input either decodes to a dict or raises MessageError — no other
+    exception type, no hang, no partial state."""
+    try:
+        result = decode_message(data)
+    except MessageError:
+        return
+    assert isinstance(result, dict)
+    # Anything that decodes must re-encode and decode to the same value
+    # (canonicalisation may differ, the value may not).
+    assert decode_message(encode_message(result)) == result
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=100), st.integers(0, 99))
+def test_bit_flips_in_valid_messages_are_contained(payload, position):
+    """Corrupting a valid wire message never crashes the decoder with
+    anything but MessageError (or yields some other valid message — both
+    are acceptable for a codec without checksums, which mirrors protobuf)."""
+    wire = bytearray(encode_message({"key": payload, "n": 42}))
+    wire[position % len(wire)] ^= 0xFF
+    try:
+        result = decode_message(bytes(wire))
+    except MessageError:
+        return
+    assert isinstance(result, dict)
