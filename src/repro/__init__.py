@@ -23,9 +23,12 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.chaos import FaultPlan
 from repro.common.config import (
+    ChaosConfig,
     ClusterConfig,
     FabricLinkConfig,
+    HealthConfig,
     IpcConfig,
     LanConfig,
     LocalMemoryConfig,
@@ -38,6 +41,7 @@ from repro.common.errors import (
     ObjectExistsError,
     ObjectNotFoundError,
     ObjectStoreError,
+    ObjectUnavailableError,
     OutOfMemoryError,
 )
 from repro.core import Cluster, DisaggregatedClient, DisaggregatedStore
@@ -64,10 +68,14 @@ __all__ = [
     "IpcConfig",
     "RpcConfig",
     "LanConfig",
+    "HealthConfig",
+    "ChaosConfig",
+    "FaultPlan",
     "ReproError",
     "ObjectStoreError",
     "ObjectExistsError",
     "ObjectNotFoundError",
+    "ObjectUnavailableError",
     "OutOfMemoryError",
     "put_array",
     "get_array",

@@ -1,0 +1,268 @@
+"""Fault plans: the *what happens when* of a chaos run.
+
+A :class:`FaultPlan` is an immutable, time-ordered schedule of fault events
+against the cluster's simulated clock. Because event times are plain
+simulated nanoseconds and plan synthesis draws only from a
+:class:`~repro.common.rng.DeterministicRng`, a (seed, plan) pair replays the
+exact same fault timeline on every run — chaos experiments are as
+reproducible as the paper's benchmarks.
+
+Event taxonomy (what each one models):
+
+* :class:`NodeCrash` / :class:`NodeRestart` — the store *process* on a node
+  dies / comes back. Metadata RPCs to a crashed node answer UNAVAILABLE;
+  its exposed memory stays readable over the fabric (the disaggregation
+  asymmetry the paper's design creates).
+* :class:`LinkPartition` / :class:`LinkHeal` — the ThymesisFlow link (and
+  any RPC path) between two nodes goes away entirely: fabric accesses raise
+  :class:`~repro.common.errors.LinkPartitionedError`, RPC attempts are
+  swallowed (the client waits out its deadline/timeout).
+* :class:`LinkDegrade` / :class:`LinkRestore` — the link stays up but slow:
+  bandwidth is multiplied by ``bandwidth_factor`` (< 1) and latency by
+  ``latency_factor`` (> 1).
+* :class:`RpcBlackhole` — a one-way RPC silence window: attempts from
+  ``src`` to ``dst`` (``"*"`` wildcards either side) vanish without a
+  response for ``duration_ns``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator
+
+from repro.common.config import ChaosConfig
+from repro.common.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something scheduled to happen at ``at_ns``."""
+
+    at_ns: int
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ValueError("fault events cannot be scheduled before t=0")
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if f.name != "at_ns"
+        ]
+        return (
+            f"t={self.at_ns / 1e6:10.3f} ms  {type(self).__name__}"
+            + (f"({', '.join(parts)})" if parts else "")
+        )
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """The store process on *node* dies (RpcServer.shutdown)."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("NodeCrash needs a node name")
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultEvent):
+    """The store process on *node* comes back (RpcServer.restart)."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("NodeRestart needs a node name")
+
+
+@dataclass(frozen=True)
+class _LinkEvent(FaultEvent):
+    node_a: str = ""
+    node_b: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_a or not self.node_b or self.node_a == self.node_b:
+            raise ValueError(
+                f"{type(self).__name__} needs two distinct node names"
+            )
+
+    @property
+    def pair(self) -> frozenset:
+        return frozenset((self.node_a, self.node_b))
+
+
+@dataclass(frozen=True)
+class LinkPartition(_LinkEvent):
+    """The fabric link (and RPC path) between two nodes is severed."""
+
+
+@dataclass(frozen=True)
+class LinkHeal(_LinkEvent):
+    """A partitioned link comes back."""
+
+
+@dataclass(frozen=True)
+class LinkDegrade(_LinkEvent):
+    """The link stays up but slower: bandwidth x factor, latency x factor."""
+
+    bandwidth_factor: float = 0.25
+    latency_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class LinkRestore(_LinkEvent):
+    """Degradation ends; the link returns to calibrated speed."""
+
+
+@dataclass(frozen=True)
+class RpcBlackhole(FaultEvent):
+    """RPC attempts from *src* to *dst* are silently dropped for
+    ``duration_ns`` (no response; the caller waits out its timeout).
+    ``"*"`` wildcards a side."""
+
+    src: str = "*"
+    dst: str = "*"
+    duration_ns: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration_ns <= 0:
+            raise ValueError("RpcBlackhole needs a positive duration")
+
+    @property
+    def until_ns(self) -> int:
+        return self.at_ns + self.duration_ns
+
+
+class FaultPlan:
+    """An ordered, validated schedule of :class:`FaultEvent`\\ s."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        materialised = tuple(events)
+        for event in materialised:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {event!r}")
+        self._events: tuple[FaultEvent, ...] = tuple(
+            sorted(materialised, key=lambda e: (e.at_ns, repr(e)))
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, *events: FaultEvent) -> "FaultPlan":
+        """A new plan with *events* merged in (plans are immutable)."""
+        return FaultPlan(self._events + events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        node_names: list[str],
+        horizon_ns: int,
+        *,
+        n_events: int = 4,
+        config: ChaosConfig | None = None,
+    ) -> "FaultPlan":
+        """Synthesise a plan deterministically from *seed*.
+
+        Each event picks a kind, a time in ``[horizon/10, horizon)`` and an
+        outage duration (exponential around ``config.mean_outage_ns``);
+        crash/partition/degrade events get a matching recovery event when
+        the outage ends inside the horizon. Same seed, nodes and horizon →
+        identical plan, run after run.
+        """
+        if len(node_names) < 2:
+            raise ValueError("a fault plan needs >= 2 nodes to be interesting")
+        if horizon_ns <= 0:
+            raise ValueError("horizon must be positive")
+        cfg = config or ChaosConfig()
+        rng = DeterministicRng(seed).spawn("chaos-plan")
+        events: list[FaultEvent] = []
+        kinds = ("crash", "partition", "degrade", "blackhole")
+        for _ in range(n_events):
+            kind = rng.choice(list(kinds))
+            at = rng.integer(horizon_ns // 10, horizon_ns)
+            # Exponential outage via inverse-CDF on a uniform draw.
+            u = max(rng.uniform(0.0, 1.0), 1e-12)
+            outage = int(-math.log(u) * cfg.mean_outage_ns) + 1
+            node = str(rng.choice(list(node_names)))
+            others = [n for n in node_names if n != node]
+            peer = str(rng.choice(others))
+            if kind == "crash":
+                events.append(NodeCrash(at, node))
+                if at + outage < horizon_ns:
+                    events.append(NodeRestart(at + outage, node))
+            elif kind == "partition":
+                events.append(LinkPartition(at, node, peer))
+                if at + outage < horizon_ns:
+                    events.append(LinkHeal(at + outage, node, peer))
+            elif kind == "degrade":
+                events.append(
+                    LinkDegrade(
+                        at,
+                        node,
+                        peer,
+                        bandwidth_factor=cfg.degrade_bandwidth_factor,
+                        latency_factor=cfg.degrade_latency_factor,
+                    )
+                )
+                if at + outage < horizon_ns:
+                    events.append(LinkRestore(at + outage, node, peer))
+            else:
+                events.append(RpcBlackhole(at, node, peer, duration_ns=outage))
+        return cls(events)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def validate(self, node_names: Iterable[str]) -> None:
+        """Check every event references a known node."""
+        known = set(node_names)
+        for event in self._events:
+            names: list[str] = []
+            if isinstance(event, (NodeCrash, NodeRestart)):
+                names = [event.node]
+            elif isinstance(event, _LinkEvent):
+                names = [event.node_a, event.node_b]
+            elif isinstance(event, RpcBlackhole):
+                names = [n for n in (event.src, event.dst) if n != "*"]
+            for name in names:
+                if name not in known:
+                    raise ValueError(
+                        f"fault plan references unknown node {name!r} "
+                        f"(cluster has {sorted(known)})"
+                    )
+
+    def describe(self) -> str:
+        """Human-readable timeline (the chaos CLI prints this)."""
+        if not self._events:
+            return "(empty fault plan)"
+        return "\n".join(event.describe() for event in self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._events == other._events
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self._events)} events)"

@@ -9,6 +9,9 @@ Commands:
   create-seal series with the paper's anchors alongside.
 * ``ablation`` — run one of the ablation studies (allocator, sharing,
   cache).
+* ``chaos``  — run a seeded fault-injection scenario (node crashes, link
+  faults, blackholes) against a replicated workload and show the
+  deterministic fault timeline plus degraded-mode outcome counts.
 """
 
 from __future__ import annotations
@@ -191,6 +194,102 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled ablation {args.kind!r}")  # pragma: no cover
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.chaos import FaultPlan, NodeCrash
+    from repro.common.errors import (
+        LinkPartitionedError,
+        ObjectNotFoundError,
+        ObjectUnavailableError,
+        RpcStatusError,
+    )
+    from repro.common.units import KB
+    from repro.core import Cluster
+
+    if args.nodes < 2:
+        print("error: chaos needs --nodes >= 2", file=sys.stderr)
+        return 2
+    if not 1 <= args.replicas <= args.nodes:
+        print(
+            f"error: --replicas must be in [1, --nodes]; "
+            f"{args.replicas} copies do not fit on {args.nodes} node(s)",
+            file=sys.stderr,
+        )
+        return 2
+    horizon_ns = int(args.horizon_ms * 1e6)
+    node_names = [f"node{i}" for i in range(args.nodes)]
+    if args.crash_at_ms is not None:
+        plan = FaultPlan(
+            [NodeCrash(at_ns=int(args.crash_at_ms * 1e6), node="node0")]
+        )
+    else:
+        plan = FaultPlan.random(
+            args.seed, node_names, horizon_ns, n_events=args.events
+        )
+    print("fault plan:")
+    for line in plan.describe().splitlines():
+        print(f"  {line}")
+
+    def run_once() -> tuple[list[str], dict[str, int]]:
+        cfg = ClusterConfig(seed=args.seed).with_store(capacity_bytes=256 * MiB)
+        if args.deadline_ms:
+            cfg = dataclasses.replace(
+                cfg,
+                rpc=dataclasses.replace(
+                    cfg.rpc, default_deadline_ns=args.deadline_ms * 1e6
+                ),
+            )
+        cluster = Cluster(
+            cfg,
+            n_nodes=args.nodes,
+            check_remote_uniqueness=False,
+            fault_plan=plan,
+        )
+        producer = cluster.client("node0")
+        consumer = cluster.client(f"node{args.nodes - 1}")
+        ids = cluster.new_object_ids(args.objects)
+        payload = bytes(args.size_kb * KB)
+        for oid in ids:
+            producer.put_bytes(oid, payload, replicas=args.replicas)
+        outcomes = {"ok": 0, "unavailable": 0, "failed": 0}
+        rounds = 5
+        for _ in range(rounds):
+            for oid in ids:
+                try:
+                    buf = consumer.get([oid])[0]
+                    buf.charge_sequential_read()
+                    consumer.release(oid)
+                    outcomes["ok"] += 1
+                except ObjectUnavailableError:
+                    outcomes["unavailable"] += 1
+                except (ObjectNotFoundError, RpcStatusError, LinkPartitionedError):
+                    outcomes["failed"] += 1
+            cluster.health_tick()
+            cluster.clock.advance(horizon_ns / rounds)
+        timeline = cluster.chaos.timeline()
+        snapshot = cluster.health_snapshot()
+        return timeline, outcomes, snapshot
+
+    timeline, outcomes, snapshot = run_once()
+    timeline2, outcomes2, _ = run_once()
+    print("applied fault timeline:")
+    for line in timeline:
+        print(f"  {line}")
+    print(f"reads: {outcomes['ok']} ok, {outcomes['unavailable']} unavailable, "
+          f"{outcomes['failed']} failed "
+          f"(replicas={args.replicas}, deadline={args.deadline_ms} ms)")
+    print("peer health at end of run:")
+    for node, peers in sorted(snapshot.items()):
+        for peer, view in sorted(peers.items()):
+            print(f"  {node} -> {peer}: breaker={view['breaker']} "
+                  f"suspect={view['suspect']} "
+                  f"missed={view['heartbeats_missed']}/{view['heartbeats_sent']}")
+    deterministic = timeline == timeline2 and outcomes == outcomes2
+    print(f"replay with same seed identical: {'yes' if deterministic else 'NO'}")
+    return 0 if deterministic else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +313,25 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("kind", choices=("allocator", "sharing", "cache"))
 
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection scenario with resilience stats"
+    )
+    chaos.add_argument("--nodes", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan and cluster seed (same seed = same run)")
+    chaos.add_argument("--events", type=int, default=4,
+                       help="random fault events to schedule")
+    chaos.add_argument("--horizon-ms", type=float, default=50.0,
+                       help="window the fault plan spans, in simulated ms")
+    chaos.add_argument("--crash-at-ms", type=float, default=None,
+                       help="replace the random plan with one node0 crash at T ms")
+    chaos.add_argument("--objects", type=int, default=20)
+    chaos.add_argument("--size-kb", type=int, default=100)
+    chaos.add_argument("--replicas", type=int, default=2,
+                       help="copies per object (1 = no failover)")
+    chaos.add_argument("--deadline-ms", type=float, default=20.0,
+                       help="per-call RPC deadline (0 = none)")
+
     return parser
 
 
@@ -222,6 +340,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "bench": _cmd_bench,
     "ablation": _cmd_ablation,
+    "chaos": _cmd_chaos,
 }
 
 

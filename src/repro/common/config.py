@@ -117,6 +117,19 @@ class RpcConfig:
     # Transparent retries on UNAVAILABLE (gRPC retry policy); each attempt
     # is charged in full. 0 means fail on the first UNAVAILABLE.
     max_retries: int = 2
+    # Exponential backoff between retry attempts (gRPC retry policy shape:
+    # initial * multiplier^n, capped, with multiplicative log-normal jitter
+    # so synchronized retriers decorrelate). The waiting client's clock is
+    # charged for every backoff interval.
+    retry_initial_backoff_ns: float = 500_000.0
+    retry_backoff_multiplier: float = 2.0
+    retry_max_backoff_ns: float = 50_000_000.0
+    retry_backoff_jitter_sigma: float = 0.1
+    # Default per-call deadline. A call that would complete after its
+    # deadline is charged only up to the deadline and raises
+    # DEADLINE_EXCEEDED. 0 disables (calls wait indefinitely — the paper's
+    # blocking unary configuration).
+    default_deadline_ns: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -139,6 +152,79 @@ class DmsgConfig:
     poll_interval_ns: float = 4_000.0
     # Data bytes per SPSC ring; bounds the largest single message.
     ring_capacity_bytes: int = 1 * MiB
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Failure detection and degraded-mode behaviour (repro.core.health).
+
+    Timeouts are simulated nanoseconds against the cluster's SimClock.
+    """
+
+    # Heartbeat-based failure detection: each node pings every peer at most
+    # once per interval (HealthMonitor.tick()); a peer that has not answered
+    # within the suspicion timeout is *suspected* dead.
+    heartbeat_interval_ns: float = 50_000_000.0
+    suspicion_timeout_ns: float = 250_000_000.0
+    # Per-peer circuit breaker: after this many *consecutive failed calls*
+    # (UNAVAILABLE / DEADLINE_EXCEEDED after all retries) the breaker opens
+    # and subsequent calls fail fast without a round trip.
+    breaker_failure_threshold: int = 3
+    # How long an open breaker waits before letting probe calls through
+    # (half-open state).
+    breaker_reset_timeout_ns: float = 500_000_000.0
+    # Calls admitted while half-open; one success closes the breaker, any
+    # failure re-opens it.
+    breaker_half_open_probes: int = 1
+    # Simulated cost of a call rejected by an open breaker (local connection
+    # bookkeeping only — the point is that it is far below a round trip).
+    breaker_fail_fast_ns: float = 1_000.0
+
+    def validate(self) -> None:
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_half_open_probes < 1:
+            raise ValueError("breaker_half_open_probes must be >= 1")
+        for name in (
+            "heartbeat_interval_ns",
+            "suspicion_timeout_ns",
+            "breaker_reset_timeout_ns",
+            "breaker_fail_fast_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault injection (repro.chaos).
+
+    A :class:`~repro.chaos.FaultPlan` carries the *what and when*; this
+    config carries behavioural constants and the knobs
+    :meth:`~repro.chaos.FaultPlan.random` uses to synthesise plans from a
+    seed.
+    """
+
+    # How long a client waits on an attempt swallowed by a blackhole or
+    # partition before concluding UNAVAILABLE (a TCP-ish connect timeout).
+    # Per-call deadlines cap this further.
+    blackhole_timeout_ns: float = 10_000_000.0
+    # Defaults for randomly generated plans: degraded links multiply
+    # bandwidth by the first factor and latency by the second.
+    degrade_bandwidth_factor: float = 0.25
+    degrade_latency_factor: float = 4.0
+    # Mean outage duration for generated crash/partition/blackhole events.
+    mean_outage_ns: float = 500_000_000.0
+
+    def validate(self) -> None:
+        if self.blackhole_timeout_ns <= 0:
+            raise ValueError("blackhole_timeout_ns must be positive")
+        if not 0.0 < self.degrade_bandwidth_factor <= 1.0:
+            raise ValueError("degrade_bandwidth_factor must be in (0, 1]")
+        if self.degrade_latency_factor < 1.0:
+            raise ValueError("degrade_latency_factor must be >= 1")
+        if self.mean_outage_ns <= 0:
+            raise ValueError("mean_outage_ns must be positive")
 
 
 @dataclass(frozen=True)
@@ -173,6 +259,8 @@ class ClusterConfig:
     lan: LanConfig = field(default_factory=LanConfig)
     dmsg: DmsgConfig = field(default_factory=DmsgConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
     # Fraction of each node's store capacity carved out as the local
     # disaggregated region (paper: "a portion of local system memory is
     # marked as disaggregated").
@@ -197,6 +285,8 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown eviction policy {self.store.eviction_policy!r}"
             )
+        self.health.validate()
+        self.chaos.validate()
         for bw_name, bw in (
             ("local read", self.local_memory.read_bandwidth_bps),
             ("local write", self.local_memory.write_bandwidth_bps),

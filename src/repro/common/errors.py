@@ -52,6 +52,21 @@ class ObjectNotFoundError(ObjectStoreError):
     """No object with this id exists anywhere the store can see."""
 
 
+class ObjectUnavailableError(ObjectNotFoundError):
+    """The object could not be resolved *and* at least one peer that might
+    home it was unreachable (crashed store process, open circuit breaker,
+    partition, or deadline expiry).
+
+    Subclasses :class:`ObjectNotFoundError` so callers that treat "not
+    found" generically keep working; resilience-aware callers can
+    discriminate and e.g. retry after the peer recovers.
+    """
+
+    def __init__(self, message: str, unreachable_peers: tuple = ()):
+        self.unreachable_peers = tuple(unreachable_peers)
+        super().__init__(message)
+
+
 class ObjectNotSealedError(ObjectStoreError):
     """The object exists but has not been sealed; it cannot be read yet."""
 
@@ -77,6 +92,11 @@ class FabricError(ReproError):
 class ApertureError(FabricError):
     """An access fell outside every mapped aperture, or an aperture mapping
     was invalid (overlap, unknown home node, out-of-range window)."""
+
+
+class LinkPartitionedError(FabricError):
+    """The OpenCAPI link this access needs is partitioned (fault injection):
+    loads, stores and streaming transfers all fail until the link heals."""
 
 
 # ---------------------------------------------------------------------------

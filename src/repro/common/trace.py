@@ -11,6 +11,7 @@ like Fig 6's "dominated by gRPC" claim directly visible on a timeline.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -30,15 +31,34 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory span recorder."""
+    """Bounded in-memory span recorder.
 
-    def __init__(self, clock: SimClock, max_events: int = 100_000):
+    Two overflow policies:
+
+    * ``ring=False`` (default) — keep the *oldest* ``max_events`` spans and
+      drop later ones, preserving a run's warm-up exactly as before.
+    * ``ring=True`` — keep the *newest* spans (a ring buffer), which is
+      what post-mortem debugging of a long chaos run wants: the events
+      leading up to the failure, not the boot sequence. Either way
+      ``dropped`` counts the overflow, and a ring tracer surfaces it as a
+      synthetic ``tracer/dropped`` instant at the start of :meth:`events`
+      and the Chrome export so truncation is visible on the timeline.
+    """
+
+    def __init__(self, clock: SimClock, max_events: int = 100_000, ring: bool = False):
         if max_events <= 0:
             raise ValueError("max_events must be positive")
         self._clock = clock
         self._max = max_events
-        self._events: list[TraceEvent] = []
+        self._ring = ring
+        self._events: deque[TraceEvent] | list[TraceEvent] = (
+            deque(maxlen=max_events) if ring else []
+        )
         self.dropped = 0
+
+    @property
+    def ring(self) -> bool:
+        return self._ring
 
     # -- recording -----------------------------------------------------------
 
@@ -89,15 +109,34 @@ class Tracer:
     def _record(self, event: TraceEvent) -> None:
         if len(self._events) >= self._max:
             self.dropped += 1
-            return
+            if not self._ring:
+                return
+            # deque(maxlen) evicts the oldest span on append.
         self._events.append(event)
+
+    def _dropped_marker(self) -> TraceEvent | None:
+        """A synthetic instant marking ring-buffer truncation."""
+        if not self._ring or self.dropped == 0:
+            return None
+        oldest = self._events[0].start_ns if self._events else 0
+        return TraceEvent(
+            category="tracer",
+            name="dropped",
+            start_ns=oldest,
+            duration_ns=0,
+            track="tracer",
+            args={"count": self.dropped},
+        )
 
     # -- introspection ------------------------------------------------------------
 
     def events(self, category: str | None = None) -> list[TraceEvent]:
+        marker = self._dropped_marker()
+        out = [marker] if marker is not None else []
+        out.extend(self._events)
         if category is None:
-            return list(self._events)
-        return [e for e in self._events if e.category == category]
+            return out
+        return [e for e in out if e.category == category]
 
     def __len__(self) -> int:
         return len(self._events)
@@ -135,7 +174,7 @@ class Tracer:
         """The Chrome trace-event JSON structure (complete 'X' events,
         timestamps in microseconds, one pid per track)."""
         trace_events = []
-        for event in self._events:
+        for event in self.events():
             trace_events.append(
                 {
                     "ph": "X",

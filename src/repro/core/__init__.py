@@ -22,11 +22,17 @@ Public surface:
   distributed reference sharing (eviction safety for remote readers),
   multi-node (>2) operation, and :class:`DisaggregatedHashMap` (the
   "shared data structure in disaggregated memory" sharing alternative).
+* Resilience layer (:mod:`repro.core.health`): heartbeat failure
+  detection (:class:`HealthMonitor`), per-peer :class:`CircuitBreaker`
+  gating every channel, RPC deadlines and exponential-backoff retries,
+  plus opt-in object replication for failover reads — pair with
+  :mod:`repro.chaos` fault plans to measure degraded-mode behaviour.
 """
 
 from repro.core.service import StoreService
 from repro.core.remote import PeerHandle, RemoteObjectRecord
 from repro.core.lookup_cache import LookupCache
+from repro.core.health import BreakerState, CircuitBreaker, HealthMonitor
 from repro.core.store import DisaggregatedStore
 from repro.core.client import DisaggregatedClient
 from repro.core.cluster import Cluster, ClusterNode
@@ -37,6 +43,9 @@ __all__ = [
     "PeerHandle",
     "RemoteObjectRecord",
     "LookupCache",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthMonitor",
     "DisaggregatedStore",
     "DisaggregatedClient",
     "Cluster",

@@ -91,12 +91,53 @@ class DisaggregatedClient(PlasmaClient):
             handle.stub, int(response["subscription"]), peer_name
         )
 
+    def put_bytes(
+        self,
+        object_id: ObjectID,
+        data,
+        metadata: bytes = b"",
+        *,
+        replicas: int = 1,
+    ) -> ObjectID:
+        """create + write + seal + release, optionally replicated.
+
+        ``replicas=1`` (default) is the paper's single-copy mode. With
+        ``replicas=2`` (or more) the local store pushes copies to
+        deterministically chosen peers after sealing, so the object stays
+        readable — via lookup failover — when this node's store process
+        dies. Replication degrades gracefully: an unavailable replica
+        target is skipped, never failing the write.
+        """
+        self._check_replicas(replicas)
+        super().put_bytes(object_id, data, metadata)
+        self._replicate(object_id, replicas)
+        return object_id
+
+    def _check_replicas(self, replicas: int) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1 (1 = no extra copies)")
+        if replicas - 1 > len(self.store.peers()):
+            raise ValueError(
+                f"replicas={replicas} needs {replicas - 1} peers, "
+                f"have {len(self.store.peers())}"
+            )
+
+    def _replicate(self, object_id: ObjectID, replicas: int) -> None:
+        for _ in range(replicas - 1):
+            self.store.replicate_object(object_id)
+
     def put_batch(
-        self, items: list[tuple[ObjectID, object]], metadata: bytes = b""
+        self,
+        items: list[tuple[ObjectID, object]],
+        metadata: bytes = b"",
+        *,
+        replicas: int = 1,
     ) -> list[ObjectID]:
         """Bulk commit with one batched uniqueness check (reserve_ids)
         instead of a Contains RPC per object — the amortised producer path.
+        ``replicas`` behaves as in :meth:`put_bytes`.
         """
+        self._check_replicas(replicas)
         ids = [oid for oid, _ in items]
         self.store.reserve_ids(ids)
         out: list[ObjectID] = []
@@ -112,5 +153,6 @@ class DisaggregatedClient(PlasmaClient):
             buffer.write(mv)
             self.seal(oid)
             self.release(oid)
+            self._replicate(oid, replicas)
             out.append(oid)
         return out

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos import ChaosRuntime, FaultPlan
 from repro.common.clock import SimClock
 from repro.common.config import ClusterConfig
 from repro.common.ids import UniqueIDGenerator
 from repro.common.rng import DeterministicRng
 from repro.core.client import DisaggregatedClient
 from repro.core.dmsg import DmsgChannel
+from repro.core.health import CircuitBreaker, HealthMonitor
 from repro.core.remote import PeerHandle
 from repro.core.ring import RingReader, RingWriter, ring_bytes
 from repro.core.service import StoreService
@@ -46,6 +48,7 @@ class ClusterNode:
     ipc: IpcChannel
     directory: DisaggregatedHashMap | None = None
     channels: dict[str, Channel] = field(default_factory=dict)
+    monitor: HealthMonitor | None = None
 
     @property
     def endpoint(self):
@@ -67,6 +70,7 @@ class Cluster:
         sharing: str = "rpc",
         directory_buckets: int = 4096,
         tracer=None,
+        fault_plan: FaultPlan | None = None,
     ):
         self._config = config or ClusterConfig()
         self._config.validate()
@@ -79,6 +83,12 @@ class Cluster:
             raise ValueError("node names must be unique")
         self._clock = SimClock()
         self._rng = DeterministicRng(self._config.seed)
+        self._chaos: ChaosRuntime | None = None
+        if fault_plan is not None:
+            fault_plan.validate(node_names)
+            self._chaos = ChaosRuntime(
+                fault_plan, self._clock, self._config.chaos, tracer=tracer
+            )
         self._id_gen = UniqueIDGenerator(self._rng.spawn("object-ids"))
         self._fabric = ThymesisFabric(
             self._clock, self._config.fabric, self._config.local_memory, self._rng
@@ -144,6 +154,8 @@ class Cluster:
             ipc = IpcChannel(
                 self._clock, self._config.ipc, self._rng.spawn("ipc", name)
             )
+            if self._chaos is not None:
+                self._chaos.attach_server(name, server)
             self._nodes[name] = ClusterNode(
                 name=name, store=store, server=server, ipc=ipc, directory=directory
             )
@@ -151,6 +163,9 @@ class Cluster:
         # Phase 2: full-mesh links and apertures (every node maps every
         # other node's exposed region).
         self._fabric.connect_full_mesh()
+        if self._chaos is not None:
+            for link in self._fabric.links():
+                self._chaos.attach_link(link)
         self._remote_regions = {}
         for reader_name in node_names:
             for home_name in node_names:
@@ -176,6 +191,12 @@ class Cluster:
                         self._config.rpc,
                         self._rng,
                         tracer=self._tracer,
+                        breaker=CircuitBreaker(
+                            self._clock,
+                            self._config.health,
+                            name=f"{reader_name}->{home_name}",
+                        ),
+                        chaos=self._chaos,
                     )
                 reader.channels[home_name] = channel
                 remote_region = self._remote_regions[(reader_name, home_name)]
@@ -191,6 +212,20 @@ class Cluster:
                         home_name,
                         RemoteHashMapReader(remote_region, 0, directory_buckets),
                     )
+
+        # Phase 4: health monitors (heartbeat failure detection) over the
+        # per-pair channels. Dmsg rings have no breaker/deadline machinery,
+        # so monitors only cover gRPC-model channels.
+        if not use_dmsg:
+            for name, node in self._nodes.items():
+                monitor = HealthMonitor(name, self._clock, self._config.health)
+                for peer_name, channel in sorted(node.channels.items()):
+                    monitor.add_peer(
+                        peer_name,
+                        channel.stub(StoreService.SERVICE_NAME),
+                        channel.breaker,
+                    )
+                node.monitor = monitor
 
     # -- dmsg wiring ---------------------------------------------------------------
 
@@ -253,6 +288,38 @@ class Cluster:
     @property
     def tracer(self):
         return self._tracer
+
+    @property
+    def chaos(self) -> ChaosRuntime | None:
+        """The fault-injection runtime, when built with a fault_plan."""
+        return self._chaos
+
+    def health_tick(self) -> dict[str, dict[str, bool]]:
+        """Pump every node's failure detector once.
+
+        The simulation has no background threads; workloads (or the chaos
+        benchmarks) call this wherever the paper's deployment would have a
+        heartbeat timer fire. Returns {node: {peer: answered}} for the
+        probes actually sent this tick (interval-gated).
+        """
+        if self._chaos is not None:
+            self._chaos.poll()
+        out: dict[str, dict[str, bool]] = {}
+        for name, node in self._nodes.items():
+            if node.monitor is not None:
+                out[name] = node.monitor.tick()
+        return out
+
+    def monitor(self, name: str) -> HealthMonitor | None:
+        return self.node(name).monitor
+
+    def health_snapshot(self) -> dict[str, dict]:
+        """Per-node view of peer health (breaker states, suspicion)."""
+        return {
+            name: node.monitor.snapshot()
+            for name, node in self._nodes.items()
+            if node.monitor is not None
+        }
 
     def node_names(self) -> list[str]:
         return list(self._nodes)

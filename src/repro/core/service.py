@@ -115,6 +115,45 @@ class StoreService(Service):
         }
 
     @rpc_method
+    def Heartbeat(self, request: dict) -> dict:
+        """Liveness probe for the failure detector (repro.core.health).
+
+        Deliberately trivial: a crashed store never reaches the handler
+        (the server answers UNAVAILABLE first), so any response at all
+        means the metadata plane is up.
+        """
+        return {"node": self._store.node, "t_ns": self._store.clock.now_ns}
+
+    @rpc_method
+    def Replicate(self, request: dict) -> dict:
+        """Create a local replica of a peer's sealed object.
+
+        The caller (the object's home store) sends only the *descriptor*;
+        the payload is pulled over the ThymesisFlow fabric from the
+        caller's exposed region — a remote read (coherent, Fig 3a) followed
+        by a local write, so replication respects the framework's
+        write-local/read-remote rule and never puts bulk data on the LAN.
+        """
+        source = request.get("source")
+        if not isinstance(source, str) or not source:
+            raise ValueError("Replicate needs the source store's name")
+        object_id = ObjectID(request["object_id"])
+        offset = int(request["offset"])
+        data_size = int(request["data_size"])
+        metadata = bytes(request.get("metadata", b""))
+        self._store.create_replica(source, object_id, offset, data_size, metadata)
+        return {"replica": self._store.name}
+
+    @rpc_method
+    def DropReplica(self, request: dict) -> dict:
+        """The home store deleted an object we hold a replica of; drop our
+        copy if it is idle (best effort — an in-use replica survives until
+        released)."""
+        object_ids = self._ids_from(request)
+        dropped = self._store.drop_replicas(object_ids)
+        return {"dropped": dropped}
+
+    @rpc_method
     def Stats(self, request: dict) -> dict:
         """Operational snapshot (used by examples and debugging, not by any
         hot path)."""

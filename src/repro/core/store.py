@@ -28,13 +28,19 @@ from __future__ import annotations
 
 from repro.common.clock import SimClock
 from repro.common.config import StoreConfig
-from repro.common.errors import ObjectExistsError, ObjectNotFoundError, ObjectStoreError
+from repro.common.errors import (
+    ObjectExistsError,
+    ObjectNotFoundError,
+    ObjectStoreError,
+    ObjectUnavailableError,
+)
 from repro.common.ids import ObjectID
 from repro.core.lookup_cache import LookupCache
 from repro.core.remote import PeerHandle, RemoteObjectRecord
 from repro.memory.host import MemoryRegion
 from repro.plasma.buffer import PlasmaBuffer, RemoteBufferSource
 from repro.plasma.entry import ObjectEntry
+from repro.plasma.notifications import SealNotification
 from repro.plasma.store import PlasmaStore
 from repro.rpc.status import StatusCode
 from repro.common.errors import RpcStatusError
@@ -91,6 +97,11 @@ class DisaggregatedStore(PlasmaStore):
         self._lookup_cache: LookupCache | None = (
             LookupCache(lookup_cache_entries) if enable_lookup_cache else None
         )
+        # Replication book-keeping: which peers hold copies of our objects
+        # (home side) and which of our objects are copies of a peer's
+        # (replica side).
+        self._replicated_to: dict[ObjectID, tuple[str, ...]] = {}
+        self._replicas_of: dict[ObjectID, str] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -170,10 +181,12 @@ class DisaggregatedStore(PlasmaStore):
     # -- id uniqueness across the system (paper §IV-A2) ---------------------------------
 
     def _peer_unavailable(self, name: str, exc: RpcStatusError) -> bool:
-        """True (and counted) iff *exc* means the peer's store process is
-        down. Data in its exposed memory stays reachable over the fabric;
-        only its metadata plane is skipped."""
-        if exc.code is StatusCode.UNAVAILABLE:
+        """True (and counted) iff *exc* means the peer's metadata plane is
+        unreachable — its process is down (UNAVAILABLE, possibly fast-failed
+        by an open circuit breaker) or it cannot answer within the deadline.
+        Data in its exposed memory stays reachable over the fabric; only the
+        metadata plane is skipped."""
+        if exc.code in (StatusCode.UNAVAILABLE, StatusCode.DEADLINE_EXCEEDED):
             self.counters.inc("peers_unavailable")
             return True
         return False
@@ -301,14 +314,24 @@ class DisaggregatedStore(PlasmaStore):
             else:
                 unresolved.append(oid)
         if unresolved:
+            unreachable: list[str] = []
             if self._sharing in ("hashmap", "hybrid"):
                 still = self._hashmap_lookup(unresolved, resolved)
             else:
-                still = self._rpc_lookup(unresolved, resolved)
+                still = self._rpc_lookup(unresolved, resolved, unreachable)
             if still and not allow_missing:
+                detail = ", ".join(repr(oid) for oid in still[:5])
+                if unreachable:
+                    # The ids may well exist — on the peers we could not
+                    # reach. Typed so callers can tell an outage from a
+                    # genuinely absent object (and retry after recovery).
+                    raise ObjectUnavailableError(
+                        f"{len(still)} object(s) unresolved while peer(s) "
+                        f"{', '.join(unreachable)} are unreachable: {detail}",
+                        unreachable_peers=tuple(unreachable),
+                    )
                 raise ObjectNotFoundError(
-                    f"{len(still)} object(s) not found anywhere: "
-                    + ", ".join(repr(oid) for oid in still[:5])
+                    f"{len(still)} object(s) not found anywhere: " + detail
                 )
         return resolved
 
@@ -316,9 +339,12 @@ class DisaggregatedStore(PlasmaStore):
         self,
         object_ids: list[ObjectID],
         resolved: dict[ObjectID, RemoteObjectRecord],
+        unreachable: list[str] | None = None,
     ) -> list[ObjectID]:
         """One batched Lookup per peer until everything resolves; returns
-        the ids nobody claimed."""
+        the ids nobody claimed. Peers whose metadata plane cannot answer
+        (down, breaker-open, past deadline) are skipped and collected into
+        *unreachable*."""
         remaining = list(object_ids)
         for name in self.peers():
             if not remaining:
@@ -329,8 +355,12 @@ class DisaggregatedStore(PlasmaStore):
             except RpcStatusError as exc:
                 # A down peer's objects are unreachable by lookup (their
                 # bytes survive in exposed memory, but nobody can resolve
-                # ids to offsets) — skip it and keep serving.
+                # ids to offsets) — skip it and keep serving. An open
+                # circuit breaker takes this same path, at ~1 us instead
+                # of a full timed-out round trip.
                 if self._peer_unavailable(name, exc):
+                    if unreachable is not None:
+                        unreachable.append(name)
                     continue
                 raise
             self.counters.inc("lookup_rpcs")
@@ -405,6 +435,128 @@ class DisaggregatedStore(PlasmaStore):
                 self._remote_records[oid].pinned_at_home = True
             self.counters.inc("addref_rpcs")
 
+    # -- replication for failover reads (degraded-mode extension) ------------------------------
+
+    def replicate_object(self, object_id: ObjectID, peer_name: str | None = None) -> str | None:
+        """Push a copy of a local sealed object to one peer (home side).
+
+        Sends only the *descriptor* over RPC; the peer pulls the payload
+        through the ThymesisFlow fabric (see ``StoreService.Replicate``).
+        The peer is chosen deterministically from the object id unless
+        given, skipping peers that already hold a copy. Returns the replica
+        holder's name, or None if the chosen peer was unavailable —
+        replication degrades rather than failing the write (documented
+        weakening: the object simply has one copy fewer until re-put).
+        """
+        with self.table.lock:
+            entry = self.get_sealed_entry(object_id)
+            offset = entry.allocation.offset + self._exposed_offset
+            data_size = entry.data_size
+            metadata = entry.metadata
+        existing = self._replicated_to.get(object_id, ())
+        candidates = [name for name in self.peers() if name not in existing]
+        if not candidates:
+            raise ObjectStoreError(
+                f"{self._name} has no peer left to replicate {object_id!r} to"
+            )
+        if peer_name is None:
+            stable = int.from_bytes(object_id.binary()[:4], "big")
+            peer_name = candidates[stable % len(candidates)]
+        elif peer_name not in candidates:
+            raise ObjectStoreError(
+                f"cannot replicate {object_id!r} to {peer_name!r} "
+                "(unknown peer or already a replica holder)"
+            )
+        try:
+            self._peers[peer_name].stub.Replicate(
+                {
+                    "source": self._name,
+                    "object_id": object_id.binary(),
+                    "offset": offset,
+                    "data_size": data_size,
+                    "metadata": metadata,
+                }
+            )
+        except RpcStatusError as exc:
+            if self._peer_unavailable(peer_name, exc):
+                self.counters.inc("replicas_skipped")
+                return None
+            raise
+        self._replicated_to[object_id] = existing + (peer_name,)
+        self.counters.inc("replicas_created")
+        return peer_name
+
+    def create_replica(
+        self,
+        source: str,
+        object_id: ObjectID,
+        offset: int,
+        data_size: int,
+        metadata: bytes = b"",
+    ) -> None:
+        """Materialise a replica of *source*'s object locally (replica side).
+
+        Allocates like any local object, pulls the payload over the fabric
+        from the source's exposed region (charged as a streaming remote
+        read + a local write), seals it, and records its provenance. The
+        replica then answers Lookup RPCs like any sealed object, which is
+        exactly what makes failover reads work when the home store dies.
+        """
+        handle = self.peer(source)
+        entry = self.create_object_unchecked(object_id, data_size, metadata)
+        payload = handle.remote_region.view(offset, data_size)
+        handle.remote_region.charge_read(data_size)
+        buffer = self.local_buffer(entry)
+        buffer.write(payload)
+        self.seal_object(object_id)
+        self._replicas_of[object_id] = source
+        self.counters.inc("replicas_held")
+
+    def drop_replicas(self, object_ids: list[ObjectID]) -> int:
+        """Best-effort removal of local replicas (the home store deleted the
+        originals). In-use replicas survive until their readers release
+        them; returns how many were dropped."""
+        dropped = 0
+        for oid in object_ids:
+            if oid not in self._replicas_of:
+                continue
+            with self.table.lock:
+                entry = self.table.lookup(oid)
+                if entry is None:
+                    del self._replicas_of[oid]
+                    continue
+                if entry.total_refs > 0:
+                    continue
+                self.table.remove(oid)
+                self._allocator.free(entry.allocation.offset)
+            del self._replicas_of[oid]
+            self._retract_from_directory(oid)
+            self._notify(SealNotification(oid, entry.data_size, deleted=True))
+            self.counters.inc("replicas_dropped")
+            dropped += 1
+        return dropped
+
+    def replica_locations(self, object_id: ObjectID) -> tuple[str, ...]:
+        """Peers holding copies of our *object_id* (home side)."""
+        return self._replicated_to.get(object_id, ())
+
+    def is_replica(self, object_id: ObjectID) -> bool:
+        """Is our local *object_id* a copy of some peer's object?"""
+        return object_id in self._replicas_of
+
+    def _drop_remote_replicas(self, object_id: ObjectID) -> None:
+        holders = self._replicated_to.pop(object_id, ())
+        if not holders:
+            return
+        payload = {"object_ids": [object_id.binary()]}
+        for name in holders:
+            try:
+                self._peers[name].stub.DropReplica(payload)
+            except RpcStatusError as exc:
+                if self._peer_unavailable(name, exc):
+                    continue
+                raise
+
     # -- reference management spanning nodes ---------------------------------------------------
 
     def release_object(self, object_id: ObjectID) -> None:
@@ -451,6 +603,8 @@ class DisaggregatedStore(PlasmaStore):
         super().delete_object(object_id)
         self._retract_from_directory(object_id)
         self._broadcast_deleted(object_id)
+        self._drop_remote_replicas(object_id)
+        self._replicas_of.pop(object_id, None)
 
     def _evict_entry(self, entry: ObjectEntry) -> None:
         super()._evict_entry(entry)

@@ -11,6 +11,24 @@ minimize protocol overhead"). Each call:
    latency variance to "gRPC and its inherent network jitter"),
 3. dispatches on the server and decodes the response,
 4. raises :class:`~repro.common.errors.RpcStatusError` on non-OK status.
+
+Resilience semantics (gRPC-shaped, used by repro.core.health / repro.chaos):
+
+* **Retries with exponential backoff** — UNAVAILABLE outcomes (injected
+  connection drops, chaos blackholes/partitions, a dead server process)
+  are retried up to ``max_retries`` times; every attempt is charged in
+  full and each backoff interval (initial x multiplier^n, capped,
+  jittered) is charged to the waiting caller.
+* **Deadlines** — ``deadline_ns`` (per call, or ``default_deadline_ns``
+  from config) bounds the whole call including retries and backoff: the
+  clock is only ever advanced up to the deadline, then the call raises
+  DEADLINE_EXCEEDED. Without a deadline, a blackholed attempt still waits
+  only the chaos runtime's connect timeout per attempt, so nothing hangs
+  forever.
+* **Circuit breaker** — an optional per-channel breaker is consulted
+  before every call; while open, calls fail fast (~1 us) without a round
+  trip, and the call's final outcome (success / unavailable / deadline)
+  feeds back into the breaker state.
 """
 
 from __future__ import annotations
@@ -24,6 +42,8 @@ from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.server import RpcServer
 from repro.rpc.status import StatusCode
 
+_FAILURE_CODES = (StatusCode.UNAVAILABLE, StatusCode.DEADLINE_EXCEEDED)
+
 
 class Channel:
     """A blocking unary-call channel from *local_host* to a server."""
@@ -36,6 +56,9 @@ class Channel:
         config: RpcConfig,
         rng: DeterministicRng,
         tracer=None,
+        *,
+        breaker=None,
+        chaos=None,
     ):
         self._local_host = local_host
         self._server = server
@@ -43,6 +66,8 @@ class Channel:
         self._config = config
         self._rng = rng.spawn("rpc", local_host, server.host)
         self._tracer = tracer
+        self._breaker = breaker
+        self._chaos = chaos
         self.counters = Counter()
         self._closed = False
 
@@ -54,72 +79,227 @@ class Channel:
     def local_host(self) -> str:
         return self._local_host
 
+    @property
+    def breaker(self):
+        return self._breaker
+
     def close(self) -> None:
         self._closed = True
 
-    def _charge(self, request_bytes: int, response_bytes: int) -> None:
-        cost = (
+    # -- cost accounting -----------------------------------------------------------
+
+    def _cost_ns(self, request_bytes: int, response_bytes: int) -> float:
+        return (
             self._config.round_trip_ns
             + (request_bytes + response_bytes) * self._config.per_byte_ns
         ) * self._rng.lognormal_jitter(self._config.jitter_sigma)
-        self._clock.advance(cost)
+
+    def _advance_within_deadline(
+        self, cost_ns: float, start_ns: int, deadline_ns: float | None
+    ) -> None:
+        """Advance the clock by *cost_ns*, but never past the call deadline;
+        on expiry, charge only the remainder and raise DEADLINE_EXCEEDED."""
+        if deadline_ns is None:
+            self._clock.advance(cost_ns)
+            return
+        remaining = deadline_ns - (self._clock.now_ns - start_ns)
+        if cost_ns > remaining:
+            self._clock.advance(max(0.0, remaining))
+            self.counters.inc("deadline_exceeded")
+            self.counters.inc("calls_failed")
+            raise RpcStatusError(
+                StatusCode.DEADLINE_EXCEEDED,
+                f"deadline of {deadline_ns / 1e6:.3f} ms exceeded calling "
+                f"{self._server.host}",
+            )
+        self._clock.advance(cost_ns)
+
+    def _backoff_ns(self, retry_index: int) -> float:
+        base = self._config.retry_initial_backoff_ns * (
+            self._config.retry_backoff_multiplier**retry_index
+        )
+        base = min(base, self._config.retry_max_backoff_ns)
+        return base * self._rng.lognormal_jitter(
+            self._config.retry_backoff_jitter_sigma
+        )
 
     def _attempt_fails(self) -> bool:
         rate = self._config.inject_failure_rate
         return rate > 0.0 and self._rng.uniform(0.0, 1.0) < rate
 
-    def unary_call(self, service: str, method: str, request: dict | None = None) -> dict:
+    def _transport_silent(self) -> bool:
+        """True while a chaos partition/blackhole swallows our attempts."""
+        if self._chaos is None:
+            return False
+        self._chaos.poll()
+        return not self._chaos.rpc_allowed(self._local_host, self._server.host)
+
+    def _effective_deadline(self, deadline_ns: float | None) -> float | None:
+        if deadline_ns is not None:
+            return deadline_ns if deadline_ns > 0 else None
+        configured = self._config.default_deadline_ns
+        return configured if configured > 0 else None
+
+    # -- breaker gate ---------------------------------------------------------------
+
+    def _breaker_admit(self) -> None:
+        if self._breaker is None:
+            return
+        if not self._breaker.allow():
+            self._clock.advance(self._breaker.fail_fast_cost_ns)
+            self.counters.inc("breaker_rejections")
+            raise RpcStatusError(
+                StatusCode.UNAVAILABLE,
+                f"circuit breaker open for {self._server.host}",
+            )
+
+    def _breaker_record(self, exc: RpcStatusError | None) -> None:
+        if self._breaker is None:
+            return
+        if exc is not None and exc.code in _FAILURE_CODES:
+            self._breaker.record_failure()
+        else:
+            # Any definitive response — OK or an application-level status —
+            # proves the peer is alive.
+            self._breaker.record_success()
+
+    # -- unary ------------------------------------------------------------------------
+
+    def unary_call(
+        self,
+        service: str,
+        method: str,
+        request: dict | None = None,
+        *,
+        deadline_ns: float | None = None,
+    ) -> dict:
         """Perform one synchronous unary call; returns the response dict.
 
-        Transient (injected) UNAVAILABLE faults are retried up to the
-        configured ``max_retries``; every attempt is charged in full.
+        Transient UNAVAILABLE outcomes are retried with exponential backoff
+        up to the configured ``max_retries``; every attempt and backoff is
+        charged in simulated time, bounded by the call deadline.
         """
         if self._closed:
             raise RpcError(f"channel to {self._server.host} is closed")
-        if self._tracer is not None:
-            with self._tracer.span(
-                "rpc",
-                f"{service}.{method}",
-                track=f"{self._local_host}->{self._server.host}",
-            ):
-                return self._unary_call_inner(service, method, request)
-        return self._unary_call_inner(service, method, request)
+        self._breaker_admit()
+        deadline = self._effective_deadline(deadline_ns)
+        try:
+            if self._tracer is not None:
+                with self._tracer.span(
+                    "rpc",
+                    f"{service}.{method}",
+                    track=f"{self._local_host}->{self._server.host}",
+                ):
+                    response = self._unary_call_inner(
+                        service, method, request, deadline
+                    )
+            else:
+                response = self._unary_call_inner(service, method, request, deadline)
+        except RpcStatusError as exc:
+            self._breaker_record(exc)
+            raise
+        self._breaker_record(None)
+        return response
 
     def _unary_call_inner(
-        self, service: str, method: str, request: dict | None
+        self,
+        service: str,
+        method: str,
+        request: dict | None,
+        deadline_ns: float | None,
     ) -> dict:
         wire_request = encode_message(request or {})
         attempts = 1 + max(0, self._config.max_retries)
+        start_ns = self._clock.now_ns
         for attempt in range(attempts):
+            last = attempt == attempts - 1
+            if self._transport_silent():
+                # The attempt vanished into a partition/blackhole: the
+                # caller waits out its connect timeout (or the deadline).
+                self._fail_attempt(
+                    self._chaos.unanswered_wait_ns,
+                    start_ns,
+                    deadline_ns,
+                    last,
+                    attempts,
+                    attempt,
+                    f"no response from {self._server.host}",
+                )
+                continue
             if self._attempt_fails():
                 # The connection dropped mid-call: charge the round trip,
                 # then retry or surface UNAVAILABLE.
-                self._charge(len(wire_request), 0)
-                self.counters.inc("attempts_failed")
-                if attempt == attempts - 1:
-                    self.counters.inc("calls_failed")
-                    raise RpcStatusError(
-                        StatusCode.UNAVAILABLE,
-                        f"connection to {self._server.host} lost "
-                        f"({attempts} attempts)",
-                    )
-                self.counters.inc("retries")
+                self._fail_attempt(
+                    self._cost_ns(len(wire_request), 0),
+                    start_ns,
+                    deadline_ns,
+                    last,
+                    attempts,
+                    attempt,
+                    f"connection to {self._server.host} lost",
+                )
                 continue
             status, wire_response, detail = self._server.dispatch_wire(
                 service, method, wire_request
             )
-            self._charge(len(wire_request), len(wire_response))
+            self._advance_within_deadline(
+                self._cost_ns(len(wire_request), len(wire_response)),
+                start_ns,
+                deadline_ns,
+            )
             self.counters.inc("calls")
             self.counters.inc("bytes_sent", len(wire_request))
             self.counters.inc("bytes_received", len(wire_response))
+            if status is StatusCode.UNAVAILABLE:
+                # The server process is down (connection refused). gRPC
+                # treats UNAVAILABLE as retryable; so do we.
+                self.counters.inc("attempts_failed")
+                if last:
+                    self.counters.inc("calls_failed")
+                    raise RpcStatusError(status, detail)
+                self.counters.inc("retries")
+                self._advance_within_deadline(
+                    self._backoff_ns(attempt), start_ns, deadline_ns
+                )
+                continue
             if status is not StatusCode.OK:
                 self.counters.inc("calls_failed")
                 raise RpcStatusError(status, detail)
             return decode_message(wire_response)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _fail_attempt(
+        self,
+        cost_ns: float,
+        start_ns: int,
+        deadline_ns: float | None,
+        last: bool,
+        attempts: int,
+        attempt: int,
+        detail: str,
+    ) -> None:
+        """Account one transport-level failed attempt; retry or raise."""
+        self._advance_within_deadline(cost_ns, start_ns, deadline_ns)
+        self.counters.inc("attempts_failed")
+        if last:
+            self.counters.inc("calls_failed")
+            raise RpcStatusError(
+                StatusCode.UNAVAILABLE, f"{detail} ({attempts} attempts)"
+            )
+        self.counters.inc("retries")
+        self._advance_within_deadline(
+            self._backoff_ns(attempt), start_ns, deadline_ns
+        )
+
+    # -- streaming ---------------------------------------------------------------------
+
     def stream_call(
-        self, service: str, method: str, requests: list[dict]
+        self,
+        service: str,
+        method: str,
+        requests: list[dict],
+        *,
+        deadline_ns: float | None = None,
     ) -> list[dict]:
         """A bidirectional-streaming call: many request messages, one
         connection round trip.
@@ -131,11 +311,74 @@ class Channel:
         message. Each message is dispatched to the same handler a unary
         call would hit; the first non-OK status aborts the stream (gRPC
         semantics) and raises.
+
+        Stream *establishment* goes through the same failure path as unary
+        calls: injected connection drops and chaos blackholes/partitions
+        are retried with backoff, deadlines bound the whole call, and the
+        breaker gates admission — a fault plan degrades streams and unary
+        calls alike.
         """
         if self._closed:
             raise RpcError(f"channel to {self._server.host} is closed")
         if not requests:
             return []
+        self._breaker_admit()
+        deadline = self._effective_deadline(deadline_ns)
+        try:
+            responses = self._stream_call_inner(service, method, requests, deadline)
+        except RpcStatusError as exc:
+            self._breaker_record(exc)
+            raise
+        self._breaker_record(None)
+        return responses
+
+    def _stream_call_inner(
+        self,
+        service: str,
+        method: str,
+        requests: list[dict],
+        deadline_ns: float | None,
+    ) -> list[dict]:
+        attempts = 1 + max(0, self._config.max_retries)
+        start_ns = self._clock.now_ns
+        for attempt in range(attempts):
+            last = attempt == attempts - 1
+            if self._transport_silent():
+                self._fail_attempt(
+                    self._chaos.unanswered_wait_ns,
+                    start_ns,
+                    deadline_ns,
+                    last,
+                    attempts,
+                    attempt,
+                    f"no response from {self._server.host}",
+                )
+                continue
+            if self._attempt_fails():
+                # The stream never established: one wasted round trip.
+                self._fail_attempt(
+                    self._cost_ns(0, 0),
+                    start_ns,
+                    deadline_ns,
+                    last,
+                    attempts,
+                    attempt,
+                    f"stream to {self._server.host} lost",
+                )
+                continue
+            return self._stream_dispatch(
+                service, method, requests, start_ns, deadline_ns
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _stream_dispatch(
+        self,
+        service: str,
+        method: str,
+        requests: list[dict],
+        start_ns: int,
+        deadline_ns: float | None,
+    ) -> list[dict]:
         responses: list[dict] = []
         wire_in = 0
         wire_out = 0
@@ -147,24 +390,31 @@ class Channel:
             wire_in += len(wire_request)
             wire_out += len(wire_response)
             if status is not StatusCode.OK:
-                self._charge_stream(len(requests), wire_in, wire_out)
+                self._advance_within_deadline(
+                    self._stream_cost_ns(len(requests), wire_in, wire_out),
+                    start_ns,
+                    deadline_ns,
+                )
                 self.counters.inc("calls_failed")
                 raise RpcStatusError(status, detail)
             responses.append(decode_message(wire_response))
-        self._charge_stream(len(requests), wire_in, wire_out)
+        self._advance_within_deadline(
+            self._stream_cost_ns(len(requests), wire_in, wire_out),
+            start_ns,
+            deadline_ns,
+        )
         self.counters.inc("calls")
         self.counters.inc("stream_messages", len(requests))
         self.counters.inc("bytes_sent", wire_in)
         self.counters.inc("bytes_received", wire_out)
         return responses
 
-    def _charge_stream(self, nmessages: int, bytes_in: int, bytes_out: int) -> None:
-        cost = (
+    def _stream_cost_ns(self, nmessages: int, bytes_in: int, bytes_out: int) -> float:
+        return (
             self._config.round_trip_ns
             + nmessages * self._config.per_stream_message_ns
             + (bytes_in + bytes_out) * self._config.per_byte_ns
         ) * self._rng.lognormal_jitter(self._config.jitter_sigma)
-        self._clock.advance(cost)
 
     def stub(self, service: str) -> "ServiceStub":
         return ServiceStub(self, service)
@@ -184,12 +434,24 @@ class ServiceStub:
     def service(self) -> str:
         return self._service
 
+    @property
+    def channel(self) -> Channel:
+        return self._channel
+
     def __getattr__(self, method: str):
         if method.startswith("_"):
             raise AttributeError(method)
 
-        def call(request: dict | None = None) -> dict:
-            return self._channel.unary_call(self._service, method, request)
+        def call(
+            request: dict | None = None, *, deadline_ns: float | None = None
+        ) -> dict:
+            if deadline_ns is None:
+                # Keep the plain signature for alternate transports
+                # (e.g. DmsgChannel) that predate deadlines.
+                return self._channel.unary_call(self._service, method, request)
+            return self._channel.unary_call(
+                self._service, method, request, deadline_ns=deadline_ns
+            )
 
         call.__name__ = method
         return call

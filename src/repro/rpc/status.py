@@ -8,6 +8,7 @@ import enum
 class StatusCode(enum.Enum):
     OK = 0
     INVALID_ARGUMENT = 3
+    DEADLINE_EXCEEDED = 4
     NOT_FOUND = 5
     ALREADY_EXISTS = 6
     RESOURCE_EXHAUSTED = 8

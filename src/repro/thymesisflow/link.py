@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.common.clock import SimClock
 from repro.common.config import FabricLinkConfig
+from repro.common.errors import LinkPartitionedError
 from repro.common.rng import DeterministicRng
 from repro.common.stats import Counter
 from repro.network.model import TransferModel
@@ -53,6 +54,13 @@ class OpenCapiLink:
         )
         self._single_rng = link_rng
         self.counters = Counter()
+        # Fault-injection state (driven by repro.chaos.ChaosRuntime). A
+        # healthy link has factors of 1.0 and pays nothing extra; the
+        # happy-path cost model and its RNG draw sequence are untouched.
+        self.chaos = None  # ChaosRuntime, set by attach_link()
+        self._partitioned = False
+        self._bandwidth_factor = 1.0
+        self._latency_factor = 1.0
 
     @property
     def config(self) -> FabricLinkConfig:
@@ -65,10 +73,46 @@ class OpenCapiLink:
     def connects(self, node_a: str, node_b: str) -> bool:
         return frozenset((node_a, node_b)) == self._ends
 
+    # -- fault injection -----------------------------------------------------------
+
+    def set_partitioned(self, flag: bool) -> None:
+        """Sever (or heal) the link: every access raises until healed —
+        unlike a store crash, a cable cut makes the *fabric* unreachable."""
+        self._partitioned = bool(flag)
+
+    def set_degradation(
+        self, bandwidth_factor: float = 1.0, latency_factor: float = 1.0
+    ) -> None:
+        """Degrade the link: effective bandwidth is scaled by
+        *bandwidth_factor* (0.25 = a quarter of healthy throughput) and
+        single-access latency by *latency_factor*."""
+        if bandwidth_factor <= 0 or latency_factor <= 0:
+            raise ValueError("degradation factors must be positive")
+        self._bandwidth_factor = bandwidth_factor
+        self._latency_factor = latency_factor
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self._partitioned
+
+    @property
+    def degradation(self) -> tuple[float, float]:
+        return self._bandwidth_factor, self._latency_factor
+
+    def _gate(self) -> None:
+        if self.chaos is not None:
+            self.chaos.poll()
+        if self._partitioned:
+            self.counters.inc("partition_rejections")
+            raise LinkPartitionedError(
+                f"fabric link {self._node_a}<->{self._node_b} is partitioned"
+            )
+
     # -- timing ------------------------------------------------------------------
 
     def charge_stream_read(self, nbytes: int) -> float:
         """Bulk remote read of *nbytes*; returns charged ns."""
+        self._gate()
         cost = 0.0
         remaining = nbytes
         burst = self._config.max_burst_bytes
@@ -76,12 +120,14 @@ class OpenCapiLink:
             chunk = min(remaining, burst)
             cost += self._read_model.cost_ns(chunk)
             remaining -= chunk
+        cost /= self._bandwidth_factor
         self._clock.advance(cost)
         self.counters.inc("read_bytes", nbytes)
         self.counters.inc("read_ops")
         return cost
 
     def charge_stream_write(self, nbytes: int) -> float:
+        self._gate()
         cost = 0.0
         remaining = nbytes
         burst = self._config.max_burst_bytes
@@ -89,6 +135,7 @@ class OpenCapiLink:
             chunk = min(remaining, burst)
             cost += self._write_model.cost_ns(chunk)
             remaining -= chunk
+        cost /= self._bandwidth_factor
         self._clock.advance(cost)
         self.counters.inc("write_bytes", nbytes)
         self.counters.inc("write_ops")
@@ -96,8 +143,11 @@ class OpenCapiLink:
 
     def charge_single_access(self) -> float:
         """One unpipelined load/store (≤ a cache line) round trip."""
-        cost = self._config.added_latency_ns * self._single_rng.lognormal_jitter(
-            self._config.jitter_sigma
+        self._gate()
+        cost = (
+            self._config.added_latency_ns
+            * self._latency_factor
+            * self._single_rng.lognormal_jitter(self._config.jitter_sigma)
         )
         self._clock.advance(cost)
         self.counters.inc("single_accesses")

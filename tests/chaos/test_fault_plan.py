@@ -1,0 +1,131 @@
+"""FaultPlan construction, validation, ordering, deterministic synthesis."""
+
+import pytest
+
+from repro.chaos import (
+    FaultPlan,
+    LinkDegrade,
+    LinkHeal,
+    LinkPartition,
+    NodeCrash,
+    NodeRestart,
+    RpcBlackhole,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_ns=-1, node="node0")
+
+    def test_crash_needs_node(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_ns=0)
+
+    def test_link_event_needs_distinct_nodes(self):
+        with pytest.raises(ValueError):
+            LinkPartition(at_ns=0, node_a="a", node_b="a")
+        with pytest.raises(ValueError):
+            LinkHeal(at_ns=0, node_a="a", node_b="")
+
+    def test_degrade_factor_bounds(self):
+        with pytest.raises(ValueError):
+            LinkDegrade(at_ns=0, node_a="a", node_b="b", bandwidth_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegrade(at_ns=0, node_a="a", node_b="b", bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkDegrade(at_ns=0, node_a="a", node_b="b", latency_factor=0.5)
+
+    def test_blackhole_needs_duration(self):
+        with pytest.raises(ValueError):
+            RpcBlackhole(at_ns=0, duration_ns=0)
+        hole = RpcBlackhole(at_ns=10, duration_ns=5)
+        assert hole.until_ns == 15
+
+    def test_link_pair_is_unordered(self):
+        a = LinkPartition(at_ns=0, node_a="x", node_b="y")
+        b = LinkPartition(at_ns=0, node_a="y", node_b="x")
+        assert a.pair == b.pair
+
+
+class TestPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(
+            [
+                NodeRestart(at_ns=300, node="n1"),
+                NodeCrash(at_ns=100, node="n1"),
+                LinkPartition(at_ns=200, node_a="n0", node_b="n1"),
+            ]
+        )
+        assert [e.at_ns for e in plan] == [100, 200, 300]
+
+    def test_add_merges_and_preserves_immutability(self):
+        base = FaultPlan([NodeCrash(at_ns=100, node="n1")])
+        extended = base.add(NodeRestart(at_ns=50, node="n1"))
+        assert len(base) == 1
+        assert len(extended) == 2
+        assert extended.events[0].at_ns == 50
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["crash"])  # type: ignore[list-item]
+
+    def test_validate_catches_unknown_nodes(self):
+        plan = FaultPlan([NodeCrash(at_ns=0, node="ghost")])
+        with pytest.raises(ValueError, match="ghost"):
+            plan.validate(["node0", "node1"])
+        plan2 = FaultPlan(
+            [LinkPartition(at_ns=0, node_a="node0", node_b="ghost")]
+        )
+        with pytest.raises(ValueError, match="ghost"):
+            plan2.validate(["node0", "node1"])
+
+    def test_validate_allows_blackhole_wildcards(self):
+        FaultPlan([RpcBlackhole(at_ns=0, duration_ns=10)]).validate(["a", "b"])
+
+    def test_describe_lists_every_event(self):
+        plan = FaultPlan(
+            [
+                NodeCrash(at_ns=1_000_000, node="node1"),
+                LinkHeal(at_ns=2_000_000, node_a="node0", node_b="node1"),
+            ]
+        )
+        text = plan.describe()
+        assert "NodeCrash" in text and "LinkHeal" in text
+        assert len(text.splitlines()) == 2
+        assert FaultPlan().describe() == "(empty fault plan)"
+
+
+class TestRandomSynthesis:
+    NODES = ["node0", "node1", "node2"]
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(42, self.NODES, 100_000_000, n_events=6)
+        b = FaultPlan.random(42, self.NODES, 100_000_000, n_events=6)
+        assert a == b
+        assert a.describe() == b.describe()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random(42, self.NODES, 100_000_000, n_events=6)
+        b = FaultPlan.random(43, self.NODES, 100_000_000, n_events=6)
+        assert a != b
+
+    def test_events_within_horizon_and_valid(self):
+        horizon = 50_000_000
+        plan = FaultPlan.random(7, self.NODES, horizon, n_events=10)
+        plan.validate(self.NODES)
+        assert len(plan) >= 10  # recovery events may add more
+        for event in plan:
+            assert 0 <= event.at_ns < horizon
+
+    def test_recoveries_follow_their_outage(self):
+        plan = FaultPlan.random(3, self.NODES, 200_000_000, n_events=12)
+        crashes = {e.node: e.at_ns for e in plan if isinstance(e, NodeCrash)}
+        for event in plan:
+            if isinstance(event, NodeRestart):
+                assert event.node in crashes
+                assert event.at_ns > crashes[event.node]
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, ["solo"], 1_000_000)

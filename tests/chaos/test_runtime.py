@@ -1,0 +1,189 @@
+"""ChaosRuntime: polled event application and reachability queries."""
+
+from repro.chaos import (
+    ChaosRuntime,
+    FaultPlan,
+    LinkDegrade,
+    LinkHeal,
+    LinkPartition,
+    LinkRestore,
+    NodeCrash,
+    NodeRestart,
+    RpcBlackhole,
+)
+from repro.common.clock import SimClock
+from repro.common.config import ChaosConfig
+
+
+class FakeServer:
+    def __init__(self):
+        self.down = False
+
+    def shutdown(self):
+        self.down = True
+
+    def restart(self):
+        self.down = False
+
+
+class FakeLink:
+    def __init__(self, a, b):
+        self.endpoints = frozenset((a, b))
+        self.partitioned = False
+        self.factors = (1.0, 1.0)
+        self.chaos = None
+
+    def set_partitioned(self, flag):
+        self.partitioned = flag
+
+    def set_degradation(self, bandwidth_factor=1.0, latency_factor=1.0):
+        self.factors = (bandwidth_factor, latency_factor)
+
+
+def make_runtime(plan, clock=None):
+    clock = clock or SimClock()
+    return ChaosRuntime(plan, clock, ChaosConfig()), clock
+
+
+class TestPolling:
+    def test_events_apply_only_once_due(self):
+        plan = FaultPlan([NodeCrash(at_ns=1_000, node="n0")])
+        runtime, clock = make_runtime(plan)
+        server = FakeServer()
+        runtime.attach_server("n0", server)
+        assert runtime.poll() == 0
+        assert not server.down
+        clock.advance(999)
+        assert runtime.poll() == 0
+        clock.advance(1)
+        assert runtime.poll() == 1
+        assert server.down
+        assert runtime.node_crashed("n0")
+        assert runtime.poll() == 0  # applied exactly once
+
+    def test_crash_then_restart(self):
+        plan = FaultPlan(
+            [
+                NodeCrash(at_ns=100, node="n0"),
+                NodeRestart(at_ns=200, node="n0"),
+            ]
+        )
+        runtime, clock = make_runtime(plan)
+        server = FakeServer()
+        runtime.attach_server("n0", server)
+        clock.advance(150)
+        runtime.poll()
+        assert server.down
+        clock.advance(100)
+        runtime.poll()
+        assert not server.down
+        assert not runtime.node_crashed("n0")
+
+    def test_batch_application_in_plan_order(self):
+        plan = FaultPlan(
+            [
+                NodeCrash(at_ns=10, node="n0"),
+                NodeRestart(at_ns=20, node="n0"),
+                NodeCrash(at_ns=30, node="n1"),
+            ]
+        )
+        runtime, clock = make_runtime(plan)
+        clock.advance(100)
+        assert runtime.poll() == 3
+        assert [type(e).__name__ for e in runtime.applied] == [
+            "NodeCrash",
+            "NodeRestart",
+            "NodeCrash",
+        ]
+        assert runtime.pending_events() == 0
+
+    def test_timeline_is_deterministic(self):
+        plan = FaultPlan.random(5, ["a", "b"], 1_000_000, n_events=5)
+        lines = []
+        for _ in range(2):
+            runtime, clock = make_runtime(plan)
+            clock.advance(2_000_000)
+            runtime.poll()
+            lines.append(runtime.timeline())
+        assert lines[0] == lines[1]
+        assert len(lines[0]) == len(plan)
+
+
+class TestLinksAndPartitions:
+    def test_partition_and_heal_drive_the_link(self):
+        plan = FaultPlan(
+            [
+                LinkPartition(at_ns=10, node_a="a", node_b="b"),
+                LinkHeal(at_ns=20, node_a="b", node_b="a"),
+            ]
+        )
+        runtime, clock = make_runtime(plan)
+        link = FakeLink("a", "b")
+        runtime.attach_link(link)
+        assert link.chaos is runtime
+        clock.advance(10)
+        runtime.poll()
+        assert link.partitioned
+        assert runtime.partitioned("a", "b")
+        assert not runtime.rpc_allowed("a", "b")
+        clock.advance(10)
+        runtime.poll()
+        assert not link.partitioned
+        assert runtime.rpc_allowed("a", "b")
+
+    def test_degrade_and_restore(self):
+        plan = FaultPlan(
+            [
+                LinkDegrade(
+                    at_ns=5,
+                    node_a="a",
+                    node_b="b",
+                    bandwidth_factor=0.5,
+                    latency_factor=2.0,
+                ),
+                LinkRestore(at_ns=15, node_a="a", node_b="b"),
+            ]
+        )
+        runtime, clock = make_runtime(plan)
+        link = FakeLink("a", "b")
+        runtime.attach_link(link)
+        clock.advance(5)
+        runtime.poll()
+        assert link.factors == (0.5, 2.0)
+        clock.advance(10)
+        runtime.poll()
+        assert link.factors == (1.0, 1.0)
+
+
+class TestBlackholes:
+    def test_directional_window(self):
+        plan = FaultPlan(
+            [RpcBlackhole(at_ns=100, src="a", dst="b", duration_ns=50)]
+        )
+        runtime, clock = make_runtime(plan)
+        clock.advance(100)
+        runtime.poll()
+        assert not runtime.rpc_allowed("a", "b")
+        assert runtime.rpc_allowed("b", "a")  # one-way silence
+        clock.advance(50)
+        assert runtime.rpc_allowed("a", "b")  # window expired
+
+    def test_wildcard_blackhole(self):
+        plan = FaultPlan([RpcBlackhole(at_ns=0, duration_ns=1_000)])
+        runtime, clock = make_runtime(plan)
+        runtime.poll()
+        assert not runtime.rpc_allowed("x", "y")
+        assert not runtime.rpc_allowed("y", "x")
+
+    def test_unanswered_wait_comes_from_config(self):
+        runtime, _ = make_runtime(FaultPlan())
+        assert runtime.unanswered_wait_ns == ChaosConfig().blackhole_timeout_ns
+
+    def test_crashed_node_is_not_a_blackhole(self):
+        # A crashed destination answers UNAVAILABLE (connection refused),
+        # it does not swallow attempts — that asymmetry is deliberate.
+        plan = FaultPlan([NodeCrash(at_ns=0, node="b")])
+        runtime, _ = make_runtime(plan)
+        runtime.poll()
+        assert runtime.node_crashed("b")
+        assert runtime.rpc_allowed("a", "b")

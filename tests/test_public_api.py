@@ -64,6 +64,7 @@ class TestSubpackageDocs:
             "repro.rpc",
             "repro.thymesisflow",
             "repro.plasma",
+            "repro.chaos",
             "repro.core",
             "repro.baseline",
             "repro.columnar",
