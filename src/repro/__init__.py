@@ -37,16 +37,20 @@ from repro.common.config import (
 )
 from repro.common.ids import ObjectID
 from repro.common.errors import (
-    ReproError,
+    IntegrityError,
+    ObjectCorruptedError,
     ObjectExistsError,
     ObjectNotFoundError,
     ObjectStoreError,
     ObjectUnavailableError,
     OutOfMemoryError,
+    ReproError,
+    StaleDescriptorError,
 )
 from repro.core import Cluster, DisaggregatedClient, DisaggregatedStore
 from repro.baseline import ScaleOutCluster
 from repro.plasma import PlasmaBuffer, PlasmaClient, PlasmaStore
+from repro.scrub import Scrubber, ScrubReport
 from repro.columnar import get_array, get_table, put_array, put_table
 from repro.dataset import DistributedDataset
 
@@ -77,6 +81,11 @@ __all__ = [
     "ObjectNotFoundError",
     "ObjectUnavailableError",
     "OutOfMemoryError",
+    "IntegrityError",
+    "StaleDescriptorError",
+    "ObjectCorruptedError",
+    "Scrubber",
+    "ScrubReport",
     "put_array",
     "get_array",
     "put_table",

@@ -222,6 +222,40 @@ class Allocator(ABC):
         self._used_bytes -= alloc.padded_size
         self._total_frees += 1
 
+    def reserve(self, offset: int, size: int) -> Allocation:
+        """Claim the specific range ``[offset, offset + align_up(size))`` out
+        of the free pool — the restart-recovery primitive: a region scan
+        finds surviving extents at fixed offsets and re-registers them.
+
+        Raises :class:`AllocationError` if the range is not entirely free.
+        Subclasses that cannot support placement raise NotImplementedError.
+        """
+        if size <= 0:
+            raise AllocationError(f"reservation size must be positive, got {size}")
+        if offset % self._alignment:
+            raise AllocationError(
+                f"reservation offset {offset} not {self._alignment}-byte aligned"
+            )
+        padded = align_up(size, self._alignment)
+        if offset + padded > self._capacity:
+            raise AllocationError(
+                f"reservation [{offset}, {offset + padded}) exceeds capacity "
+                f"{self._capacity}"
+            )
+        self._do_reserve(offset, padded)
+        alloc = Allocation(offset=offset, size=size, padded_size=padded)
+        self._live[offset] = alloc
+        self._used_bytes += padded
+        self._total_allocs += 1
+        return alloc
+
+    def _do_reserve(self, offset: int, padded_size: int) -> None:
+        """Carve ``[offset, offset + padded_size)`` out of the free pool.
+        Raise :class:`AllocationError` if any part is not free."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support placed reservations"
+        )
+
     # -- introspection --------------------------------------------------------------
 
     @property

@@ -52,6 +52,25 @@ class FirstFitAllocator(Allocator):
     def _do_free(self, alloc: Allocation) -> None:
         self._free.insert_coalescing(alloc.offset, alloc.padded_size)
 
+    def _do_reserve(self, offset: int, padded_size: int) -> None:
+        from repro.common.errors import AllocationError
+
+        end = offset + padded_size
+        for blk_off, blk_size in self._free.blocks():
+            if blk_off <= offset and end <= blk_off + blk_size:
+                # Split the containing free block around the reservation.
+                self._free._remove(blk_off, blk_size)
+                if blk_off < offset:
+                    self._free.insert(blk_off, offset - blk_off)
+                if end < blk_off + blk_size:
+                    self._free.insert(end, blk_off + blk_size - end)
+                return
+            if blk_off > offset:
+                break
+        raise AllocationError(
+            f"range [{offset}, {end}) is not entirely free; cannot reserve"
+        )
+
     @property
     def largest_free(self) -> int:
         return self._free.largest

@@ -24,6 +24,7 @@ measure *degraded-mode* behaviour, not just steady state::
 """
 
 from repro.chaos.plan import (
+    BitFlip,
     FaultEvent,
     FaultPlan,
     LinkDegrade,
@@ -46,5 +47,6 @@ __all__ = [
     "LinkDegrade",
     "LinkRestore",
     "RpcBlackhole",
+    "BitFlip",
     "ChaosRuntime",
 ]

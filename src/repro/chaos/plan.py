@@ -129,6 +129,32 @@ class LinkRestore(_LinkEvent):
 
 
 @dataclass(frozen=True)
+class BitFlip(FaultEvent):
+    """In-region silent data corruption: flip bit *bit* of the byte at
+    exposed-region offset *offset* on *node* (cosmic ray / DRAM fault /
+    fabric-DMA corruption — the failure class the anti-entropy scrubber
+    exists to catch).
+
+    Targeted, not synthesised: :meth:`FaultPlan.random` never draws one,
+    because a meaningful flip needs an offset inside a live object, which
+    only the experiment knows.
+    """
+
+    node: str = ""
+    offset: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("BitFlip needs a node name")
+        if self.offset < 0:
+            raise ValueError("BitFlip offset must be non-negative")
+        if not 0 <= self.bit <= 7:
+            raise ValueError("BitFlip bit must be in [0, 7]")
+
+
+@dataclass(frozen=True)
 class RpcBlackhole(FaultEvent):
     """RPC attempts from *src* to *dst* are silently dropped for
     ``duration_ns`` (no response; the caller waits out its timeout).
@@ -236,7 +262,7 @@ class FaultPlan:
         known = set(node_names)
         for event in self._events:
             names: list[str] = []
-            if isinstance(event, (NodeCrash, NodeRestart)):
+            if isinstance(event, (NodeCrash, NodeRestart, BitFlip)):
                 names = [event.node]
             elif isinstance(event, _LinkEvent):
                 names = [event.node_a, event.node_b]

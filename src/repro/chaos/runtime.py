@@ -22,6 +22,7 @@ from collections import deque
 from repro.common.clock import SimClock
 from repro.common.config import ChaosConfig
 from repro.chaos.plan import (
+    BitFlip,
     FaultEvent,
     FaultPlan,
     LinkDegrade,
@@ -52,6 +53,7 @@ class ChaosRuntime:
         self._pending: deque[FaultEvent] = deque(plan.events)
         self.applied: list[FaultEvent] = []
         self._servers: dict[str, object] = {}   # node -> RpcServer
+        self._regions: dict[str, object] = {}   # node -> exposed MemoryRegion
         self._links: dict[frozenset, object] = {}  # {a,b} -> OpenCapiLink
         self._networks: list = []
         self._crashed: set[str] = set()
@@ -77,6 +79,11 @@ class ChaosRuntime:
     def attach_server(self, node: str, server) -> None:
         self._servers[node] = server
 
+    def attach_region(self, node: str, region) -> None:
+        """Register a node's exposed memory so BitFlip events can corrupt
+        it in place (offsets in the plan are exposed-region-relative)."""
+        self._regions[node] = region
+
     def attach_link(self, link) -> None:
         self._links[link.endpoints] = link
         link.chaos = self
@@ -84,6 +91,21 @@ class ChaosRuntime:
     def attach_network(self, network) -> None:
         self._networks.append(network)
         network.chaos = self
+
+    def inject(self, *events: FaultEvent) -> None:
+        """Merge targeted events into the pending schedule at runtime.
+
+        Some faults cannot be planned up front — a :class:`BitFlip` needs
+        an offset inside a live object, which exists only after the
+        workload has run. Injection keeps determinism: the merged schedule
+        is re-sorted by the same (time, repr) key plan construction uses.
+        """
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {event!r}")
+        self._pending = deque(
+            sorted((*self._pending, *events), key=lambda e: (e.at_ns, repr(e)))
+        )
 
     # -- event application ---------------------------------------------------------
 
@@ -137,6 +159,11 @@ class ChaosRuntime:
                 link.set_degradation(bandwidth_factor=1.0, latency_factor=1.0)
         elif isinstance(event, RpcBlackhole):
             self._blackholes.append(event)
+        elif isinstance(event, BitFlip):
+            region = self._regions.get(event.node)
+            if region is not None:
+                view = region.view(event.offset, 1)
+                view[0] ^= 1 << event.bit
         else:  # pragma: no cover - plan validation prevents this
             raise TypeError(f"unknown fault event {event!r}")
 

@@ -245,6 +245,24 @@ class StoreConfig:
     # 'dlmalloc' the original library's strategy, 'buddy' an extension.
     allocator: str = "first_fit"
     alignment: int = 64
+    # --- end-to-end integrity (sealed-object in-region headers) ---
+    # Write a 64-byte header (magic, id, generation, sizes, CRC32C, seal
+    # flag) into the region ahead of every object's payload. Required for
+    # validated fabric reads, restart recovery, and the scrubber.
+    integrity_headers: bool = True
+    # Validate the in-region header (magic / object id / generation / seal
+    # flag) before a fabric read streams the payload, and re-check the
+    # generation afterwards to catch mid-copy retirement.
+    verify_remote_reads: bool = True
+    # Additionally verify the payload CRC on every remote read. Off by
+    # default: always-on CRC would sit on the Fig 7 hot path; the scrubber
+    # covers at-rest corruption and torn/stale reads are already caught by
+    # the header checks above.
+    verify_checksum_on_read: bool = False
+    # Modeled cost of checksumming, charged to the simulated clock per byte
+    # checksummed on a *timed* path (remote reads with CRC verification).
+    # 0.0 models a hardware-accelerated CRC32C folded into the copy loop.
+    checksum_ns_per_byte: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -284,6 +302,17 @@ class ClusterConfig:
         if self.store.eviction_policy not in ("lru", "fifo", "largest_first"):
             raise ValueError(
                 f"unknown eviction policy {self.store.eviction_policy!r}"
+            )
+        if self.store.checksum_ns_per_byte < 0:
+            raise ValueError("checksum_ns_per_byte must be non-negative")
+        if self.store.verify_remote_reads and not self.store.integrity_headers:
+            raise ValueError(
+                "verify_remote_reads requires integrity_headers: there is "
+                "no in-region header to validate against"
+            )
+        if self.store.verify_checksum_on_read and not self.store.verify_remote_reads:
+            raise ValueError(
+                "verify_checksum_on_read requires verify_remote_reads"
             )
         self.health.validate()
         self.chaos.validate()

@@ -80,6 +80,27 @@ class ObjectInUseError(ObjectStoreError):
     holds a reference to its buffer."""
 
 
+class IntegrityError(ObjectStoreError):
+    """Base class for end-to-end data-integrity failures: the bytes a
+    descriptor points at do not match what the descriptor promises."""
+
+
+class StaleDescriptorError(IntegrityError):
+    """A remote read's in-region header check failed in a way that means
+    the descriptor no longer describes a live sealed object — the home
+    store deleted, evicted, or reallocated the extent (generation bumped,
+    seal flag cleared, or a different object id in place). The reader's
+    lookup cache entry is invalid; one re-lookup is attempted before this
+    surfaces."""
+
+
+class ObjectCorruptedError(IntegrityError):
+    """The object's bytes fail checksum (or its header is smashed): the
+    payload cannot be trusted. Raised by validated reads and by the
+    anti-entropy scrubber; quarantined objects answer every read with
+    this."""
+
+
 # ---------------------------------------------------------------------------
 # Disaggregation fabric
 # ---------------------------------------------------------------------------

@@ -122,6 +122,19 @@ class Cluster:
         )
         store_base = dir_size + mailbox_size
         exposed_size = store_base + store_capacity
+        # Kept for recover_node(): a restarted store is rebuilt with the
+        # exact construction parameters of the original.
+        self._store_base = store_base
+        self._store_capacity = store_capacity
+        self._directory_buckets = directory_buckets
+        self._store_kwargs = dict(
+            check_remote_uniqueness=check_remote_uniqueness,
+            share_usage=share_usage,
+            enable_lookup_cache=enable_lookup_cache,
+            notify_deletions=enable_lookup_cache,
+            sharing=sharing,
+            region_offset_in_exposed=store_base,
+        )
 
         # Phase 1: nodes, endpoints, exposed regions, stores, servers.
         for name in node_names:
@@ -156,6 +169,7 @@ class Cluster:
             )
             if self._chaos is not None:
                 self._chaos.attach_server(name, server)
+                self._chaos.attach_region(name, exposed)
             self._nodes[name] = ClusterNode(
                 name=name, store=store, server=server, ipc=ipc, directory=directory
             )
@@ -320,6 +334,64 @@ class Cluster:
             for name, node in self._nodes.items()
             if node.monitor is not None
         }
+
+    def recover_node(self, name: str):
+        """Restart a crashed node's store process and recover its objects
+        from the region's sealed-object headers.
+
+        Models the asymmetry that makes disaggregated restarts interesting:
+        the store *process* died (object table, allocator state and RPC
+        service all gone) but the node's exposed region — every sealed
+        object's header and payload in it — survived. A fresh store is
+        constructed over the same endpoint and region, its table and free
+        list are rebuilt by the header scan, the RPC service is re-bound on
+        the surviving server, and peer connections are re-established over
+        the existing channels and apertures. Peers' cached descriptors stay
+        valid across the restart because offsets and generations live in
+        the region, not in the dead process.
+
+        Returns the :class:`~repro.plasma.store.RecoveryReport`.
+        """
+        node = self.node(name)
+        endpoint = node.store.endpoint
+        store_region = endpoint.exposed.subregion(
+            self._store_base, self._store_capacity
+        )
+        store = DisaggregatedStore(
+            name,
+            endpoint,
+            store_region,
+            self._config.store,
+            self._clock,
+            **self._store_kwargs,
+        )
+        store.tracer = self._tracer
+        if node.directory is not None:
+            # The directory's buckets live in the region and survived; the
+            # recovered store re-attaches the same instance.
+            store.attach_directory(node.directory)
+        for peer_name, channel in sorted(node.channels.items()):
+            store.connect_peer(
+                PeerHandle(
+                    name=peer_name,
+                    stub=channel.stub(StoreService.SERVICE_NAME),
+                    remote_region=self._remote_regions[(name, peer_name)],
+                )
+            )
+            if self._sharing in ("hashmap", "hybrid"):
+                store.attach_hashmap_reader(
+                    peer_name,
+                    RemoteHashMapReader(
+                        self._remote_regions[(name, peer_name)],
+                        0,
+                        self._directory_buckets,
+                    ),
+                )
+        report = store.recover()
+        node.server.replace_service(StoreService(store))
+        node.server.restart()
+        node.store = store
+        return report
 
     def node_names(self) -> list[str]:
         return list(self._nodes)

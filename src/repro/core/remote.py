@@ -38,11 +38,18 @@ class RemoteObjectRecord:
 
     object_id: ObjectID
     home: str
-    offset: int
+    offset: int  # exposed-region offset of the *payload* bytes
     data_size: int
     metadata: bytes = b""
     local_refs: int = 0
     pinned_at_home: bool = False
+    # Integrity fields carried by the descriptor: the home store's
+    # generation for this incarnation of the object (0 = unknown, e.g. the
+    # hashmap directory path), the in-region header size (0 = home runs
+    # without headers) and the seal-time payload checksum.
+    generation: int = 0
+    header_size: int = 0
+    payload_crc: int = 0
 
     @classmethod
     def from_descriptor(cls, home: str, descriptor: dict) -> "RemoteObjectRecord":
@@ -52,4 +59,7 @@ class RemoteObjectRecord:
             offset=int(descriptor["offset"]),
             data_size=int(descriptor["data_size"]),
             metadata=bytes(descriptor.get("metadata", b"")),
+            generation=int(descriptor.get("generation", 0)),
+            header_size=int(descriptor.get("header_size", 0)),
+            payload_crc=int(descriptor.get("payload_crc", 0)),
         )

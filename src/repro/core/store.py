@@ -38,7 +38,11 @@ from repro.common.ids import ObjectID
 from repro.core.lookup_cache import LookupCache
 from repro.core.remote import PeerHandle, RemoteObjectRecord
 from repro.memory.host import MemoryRegion
-from repro.plasma.buffer import PlasmaBuffer, RemoteBufferSource
+from repro.plasma.buffer import (
+    PlasmaBuffer,
+    RemoteBufferSource,
+    RemoteReadIntegrity,
+)
 from repro.plasma.entry import ObjectEntry
 from repro.plasma.notifications import SealNotification
 from repro.plasma.store import PlasmaStore
@@ -169,7 +173,7 @@ class DisaggregatedStore(PlasmaStore):
         if self._directory is not None:
             self._directory.insert(
                 object_id,
-                entry.allocation.offset + self._exposed_offset,
+                entry.payload_offset + self._exposed_offset,
                 entry.data_size,
             )
         return entry
@@ -397,8 +401,15 @@ class DisaggregatedStore(PlasmaStore):
                 if hit is None:
                     continue
                 offset, size = hit
+                # The directory carries no generation; generation=0 means
+                # validated reads still check magic/id/seal, but accept any
+                # generation (the one-way-sharing trade, paper §V-B).
                 record = RemoteObjectRecord(
-                    object_id=oid, home=name, offset=offset, data_size=size
+                    object_id=oid,
+                    home=name,
+                    offset=offset,
+                    data_size=size,
+                    header_size=self.header_size,
                 )
                 self._remote_records[oid] = record
                 if self._lookup_cache is not None:
@@ -410,7 +421,9 @@ class DisaggregatedStore(PlasmaStore):
 
     def _remote_buffer(self, record: RemoteObjectRecord) -> PlasmaBuffer:
         handle = self.peer(record.home)
-        source = RemoteBufferSource(handle.remote_region, record.offset)
+        source = RemoteBufferSource(
+            handle.remote_region, record.offset, self._integrity_for(record)
+        )
         return PlasmaBuffer(
             record.object_id,
             source,
@@ -418,6 +431,65 @@ class DisaggregatedStore(PlasmaStore):
             sealed=True,
             metadata=record.metadata,
         )
+
+    def _integrity_for(
+        self, record: RemoteObjectRecord
+    ) -> RemoteReadIntegrity | None:
+        """The validation context a fabric read of *record* runs under, or
+        None when the home store writes no headers / validation is off."""
+        if not self.config.verify_remote_reads or not record.header_size:
+            return None
+        return RemoteReadIntegrity(
+            object_id=record.object_id.binary(),
+            generation=record.generation,
+            header_size=record.header_size,
+            payload_crc=record.payload_crc,
+            verify_checksum=self.config.verify_checksum_on_read,
+            checksum_ns_per_byte=self.config.checksum_ns_per_byte,
+            clock=self.clock,
+            refresh=lambda oid=record.object_id: self._refresh_stale(oid),
+        )
+
+    def _refresh_stale(self, object_id: ObjectID) -> tuple | None:
+        """A validated fabric read hit a stale header: drop every cached
+        descriptor for *object_id* (satisfying the lost-NotifyDeleted case —
+        generation mismatch is the backstop invalidation signal), re-Lookup
+        once, and hand the reader a fresh read target. Returns
+        ``(remote_region, payload_offset, integrity)`` or None if nobody
+        claims the id anymore."""
+        self.counters.inc("stale_descriptor_refreshes")
+        # The stale record stays registered until the re-lookup succeeds, so
+        # held buffers release cleanly even when the object is gone for
+        # good; the *cache* entry goes immediately — it is proven wrong.
+        old = self._remote_records.get(object_id)
+        if self._lookup_cache is not None:
+            self._lookup_cache.invalidate(object_id)
+        resolved: dict[ObjectID, RemoteObjectRecord] = {}
+        if self._sharing in ("hashmap", "hybrid"):
+            self._hashmap_lookup([object_id], resolved)
+        else:
+            try:
+                self._rpc_lookup([object_id], resolved, unreachable=[])
+            except RpcStatusError:
+                return None
+        record = resolved.get(object_id)
+        if record is None:
+            return None
+        if old is not None:
+            # The stale record's handles keep working against the fresh
+            # incarnation; re-pin at the (possibly different) home.
+            record.local_refs = old.local_refs
+            if old.local_refs and self._share_usage:
+                try:
+                    self._peers[record.home].stub.AddRef(
+                        {"object_ids": [object_id.binary()]}
+                    )
+                    record.pinned_at_home = True
+                except RpcStatusError:
+                    pass
+        self._remote_records[object_id] = record
+        handle = self.peer(record.home)
+        return handle.remote_region, record.offset, self._integrity_for(record)
 
     def _pin_at_home(self, by_home: dict[str, list[ObjectID]]) -> None:
         for home, oids in by_home.items():
@@ -450,7 +522,7 @@ class DisaggregatedStore(PlasmaStore):
         """
         with self.table.lock:
             entry = self.get_sealed_entry(object_id)
-            offset = entry.allocation.offset + self._exposed_offset
+            offset = entry.payload_offset + self._exposed_offset
             data_size = entry.data_size
             metadata = entry.metadata
         existing = self._replicated_to.get(object_id, ())
@@ -540,6 +612,15 @@ class DisaggregatedStore(PlasmaStore):
         """Peers holding copies of our *object_id* (home side)."""
         return self._replicated_to.get(object_id, ())
 
+    def record_replicas(self, object_id: ObjectID, holders) -> None:
+        """Reconcile home-side replica book-keeping with observed reality.
+
+        The replica map is process state, so a crash wipes it even though
+        the replicas themselves survive on their holders. The scrubber's
+        cross-check rediscovers them with Lookup probes and writes the
+        truth back here, so ``replicate_object`` never double-places."""
+        self._replicated_to[object_id] = tuple(dict.fromkeys(holders))
+
     def is_replica(self, object_id: ObjectID) -> bool:
         """Is our local *object_id* a copy of some peer's object?"""
         return object_id in self._replicas_of
@@ -556,6 +637,29 @@ class DisaggregatedStore(PlasmaStore):
                 if self._peer_unavailable(name, exc):
                     continue
                 raise
+
+    # -- integrity: quarantine/repair with directory upkeep ------------------------------------
+
+    def quarantine_object(self, object_id: ObjectID) -> ObjectEntry:
+        """Quarantine locally and stop advertising the corrupt object to
+        peers (directory retraction + cache invalidation push)."""
+        entry = super().quarantine_object(object_id)
+        self._retract_from_directory(object_id)
+        self._broadcast_deleted(object_id)
+        return entry
+
+    def repair_object(self, object_id: ObjectID, data) -> ObjectEntry:
+        entry = super().repair_object(object_id, data)
+        if self._directory is not None:
+            try:
+                self._directory.insert(
+                    object_id,
+                    entry.payload_offset + self._exposed_offset,
+                    entry.data_size,
+                )
+            except ObjectStoreError:
+                pass  # repair without a prior retraction: still advertised
+        return entry
 
     # -- reference management spanning nodes ---------------------------------------------------
 
@@ -636,6 +740,20 @@ class DisaggregatedStore(PlasmaStore):
             subs = {}
             self._subscriptions_map = subs
         return subs
+
+    # -- restart recovery ------------------------------------------------------------
+
+    def recover(self):
+        """Restart recovery: rebuild the object table and free list from the
+        region's sealed-object headers (see PlasmaStore.recover_from_region)
+        and reconcile the surviving directory — corrupt objects come back
+        quarantined and must not be advertised to peers."""
+        report = self.recover_from_region()
+        if self._directory is not None:
+            for entry in list(self.table):
+                if entry.quarantined:
+                    self._retract_from_directory(entry.object_id)
+        return report
 
     def invalidate_cached_lookups(self, object_ids: list[ObjectID]) -> None:
         """Handle a peer's NotifyDeleted: drop cached descriptors and any

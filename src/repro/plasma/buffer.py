@@ -12,8 +12,18 @@ Reading a sealed buffer end-to-end (:meth:`PlasmaBuffer.read_all`,
 
 from __future__ import annotations
 
-from repro.common.errors import ObjectSealedError, ObjectStoreError
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.checksum import crc32c
+from repro.common.errors import (
+    ObjectCorruptedError,
+    ObjectSealedError,
+    ObjectStoreError,
+    StaleDescriptorError,
+)
 from repro.common.ids import ObjectID
+from repro.memory.layout import ObjectHeader
 from repro.thymesisflow.aperture import RemoteRegion
 from repro.thymesisflow.endpoint import ThymesisEndpoint
 
@@ -46,13 +56,48 @@ class LocalBufferSource:
         return self._ep.charge_local_write(self._abs + offset, size)
 
 
+@dataclass
+class RemoteReadIntegrity:
+    """What a validated fabric read checks against — the descriptor's view
+    of the object, plus the hooks to recover from a stale descriptor.
+
+    ``refresh`` is the one-shot re-lookup callback the owning store
+    installs: it invalidates the stale cached descriptor, re-Lookups the
+    id, and returns a fresh ``(remote_region, payload_offset, integrity)``
+    triple (or None if the object is gone for real).
+    """
+
+    object_id: bytes  # expected raw 20-byte id
+    generation: int  # expected header generation; 0 = unknown, skip check
+    header_size: int
+    payload_crc: int = 0
+    verify_checksum: bool = False
+    checksum_ns_per_byte: float = 0.0
+    clock: object = None
+    refresh: Callable[[], tuple | None] | None = None
+
+
 class RemoteBufferSource:
     """Buffer bytes living in a remote node's disaggregated region,
-    accessed through a mapped aperture."""
+    accessed through a mapped aperture.
 
-    def __init__(self, remote: RemoteRegion, region_offset: int):
+    With an integrity context attached, every materialising read validates
+    the object's in-region header (magic, id, generation, seal flag)
+    *before* streaming the payload and re-checks the generation *after* —
+    so delete/evict/realloc races at the home store surface as typed
+    :class:`StaleDescriptorError` instead of silently reused bytes, with
+    one transparent re-lookup-and-retry before the error escapes.
+    """
+
+    def __init__(
+        self,
+        remote: RemoteRegion,
+        region_offset: int,
+        integrity: RemoteReadIntegrity | None = None,
+    ):
         self._remote = remote
         self._off = region_offset
+        self._integrity = integrity
 
     @property
     def location(self) -> str:
@@ -62,15 +107,87 @@ class RemoteBufferSource:
     def is_remote(self) -> bool:
         return True
 
+    @property
+    def integrity(self) -> RemoteReadIntegrity | None:
+        return self._integrity
+
     def view(self, offset: int, size: int) -> memoryview:
         return self._remote.view(self._off + offset, size)
 
     def timed_read(self, offset: int, size: int, out=None) -> float:
-        if out is not None:
+        ig = self._integrity
+        if out is None:
+            # Charge-only mode (no bytes materialise, nothing to validate);
+            # a validating reader still fetches the header with the stream.
+            extra = ig.header_size if ig is not None else 0
+            return self._remote.charge_read(size + extra)
+        if ig is None:
             self._remote.read(self._off + offset, size, out=out)
-            # Cost was charged inside read(); report 0 extra.
             return 0.0
-        return self._remote.charge_read(size)
+        try:
+            self._validated_read(offset, size, out)
+        except StaleDescriptorError:
+            if ig.refresh is None:
+                raise
+            refreshed = ig.refresh()
+            if refreshed is None:
+                raise
+            self._remote, self._off, self._integrity = refreshed
+            # Second failure surfaces to the caller.
+            self._validated_read(offset, size, out)
+        return 0.0
+
+    def _read_header(self) -> ObjectHeader | None:
+        ig = self._integrity
+        return ObjectHeader.unpack(
+            self._remote.view(self._off - ig.header_size, ig.header_size)
+        )
+
+    def _validated_read(self, offset: int, size: int, out) -> None:
+        ig = self._integrity
+        oid = ObjectID(ig.object_id)
+        header = self._read_header()
+        if (
+            header is None
+            or header.object_id != ig.object_id
+            or (ig.generation and header.generation != ig.generation)
+            or not header.sealed
+        ):
+            raise StaleDescriptorError(
+                f"in-region header for {oid!r} at {self.location} no longer "
+                f"matches the descriptor (retired, reallocated, or unsealed)"
+            )
+        if header.quarantined:
+            raise ObjectCorruptedError(
+                f"{oid!r} is quarantined at its home store {self.location}"
+            )
+        mv = memoryview(out)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        mv[:size] = self._remote.view(self._off + offset, size)
+        # One charged stream covers header + payload: the header rides the
+        # same DMA burst, so validation costs bytes, not an extra round trip.
+        self._remote.charge_read(size + ig.header_size)
+        # Post-copy re-check: a retire that raced the copy bumped the
+        # generation, which means the bytes just streamed may be torn.
+        post = self._read_header()
+        if (
+            post is None
+            or post.generation != header.generation
+            or not post.sealed
+        ):
+            raise StaleDescriptorError(
+                f"{oid!r} was retired at {self.location} mid-copy; "
+                f"the streamed bytes cannot be trusted"
+            )
+        if ig.verify_checksum and offset == 0 and size == header.data_size:
+            if ig.checksum_ns_per_byte and ig.clock is not None:
+                ig.clock.advance(ig.checksum_ns_per_byte * size)
+            if crc32c(mv[:size]) != header.payload_crc:
+                raise ObjectCorruptedError(
+                    f"{oid!r} failed its payload checksum after a fabric "
+                    f"read from {self.location}"
+                )
 
     def timed_write(self, offset: int, data) -> float:
         self._remote.write(self._off + offset, data)

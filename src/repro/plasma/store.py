@@ -17,24 +17,62 @@ The store composes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro.allocator import create_allocator
+from repro.allocator.base import align_up
+from repro.common.checksum import crc32c
 from repro.common.clock import SimClock
 from repro.common.config import StoreConfig
 from repro.common.errors import (
+    AllocationError,
+    ObjectCorruptedError,
     ObjectExistsError,
     ObjectNotFoundError,
     ObjectNotSealedError,
+    ObjectStoreError,
     OutOfMemoryError,
 )
 from repro.common.ids import ObjectID
 from repro.common.stats import Counter
 from repro.memory.host import MemoryRegion
+from repro.memory.layout import (
+    FLAG_QUARANTINED,
+    FLAG_SEALED,
+    HEADER_MAGIC,
+    HEADER_SIZE,
+    MAX_METADATA_BYTES,
+    ObjectHeader,
+)
 from repro.plasma.buffer import LocalBufferSource, PlasmaBuffer
-from repro.plasma.entry import ObjectEntry
+from repro.plasma.entry import ObjectEntry, ObjectState
 from repro.plasma.eviction import create_eviction_policy
 from repro.plasma.notifications import NotificationQueue, SealNotification
 from repro.plasma.table import ObjectTable
 from repro.thymesisflow.endpoint import ThymesisEndpoint
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What a region-scan restart recovery found."""
+
+    candidates: int  # aligned offsets whose first bytes matched the magic
+    recovered: int  # sealed objects re-registered in the table
+    quarantined: int  # recovered, but payload/metadata failed its checksum
+    skipped: int  # candidates rejected (bad CRC, unsealed/retired, dup, ...)
+    bytes_recovered: int  # payload bytes of recovered objects
+    max_generation: int  # highest generation observed anywhere in the scan
+
+    def describe(self) -> str:
+        return (
+            f"{self.recovered} objects recovered "
+            f"({self.bytes_recovered} payload bytes, "
+            f"{self.quarantined} quarantined) from {self.candidates} header "
+            f"candidates; {self.skipped} rejected; generation resumes past "
+            f"{self.max_generation}"
+        )
 
 
 class PlasmaStore:
@@ -63,6 +101,11 @@ class PlasmaStore:
             config.eviction_policy, region.size, config.eviction_batch_fraction
         )
         self._subscribers: list[NotificationQueue] = []
+        # Integrity: every extent is prefixed by a fixed in-region header
+        # (one alignment quantum) and stamped with a store-monotonic
+        # generation; see repro.memory.layout.
+        self._header_size = HEADER_SIZE if config.integrity_headers else 0
+        self._next_generation = 1
         self.counters = Counter()
         # Optional simulated-time tracer (set by the cluster builder when
         # tracing is requested); hot paths guard on it being None.
@@ -110,6 +153,11 @@ class PlasmaStore:
     def used_bytes(self) -> int:
         return self._allocator.used_bytes
 
+    @property
+    def header_size(self) -> int:
+        """Per-object in-region header bytes (0 when integrity is off)."""
+        return self._header_size
+
     # -- object lifecycle ------------------------------------------------------------
 
     def check_id_available(self, object_id: ObjectID) -> None:
@@ -141,19 +189,67 @@ class PlasmaStore:
         duplicates still fail at table insertion."""
         if data_size <= 0:
             raise ValueError("object size must be positive")
+        metadata = bytes(metadata)
+        if self._header_size and len(metadata) > MAX_METADATA_BYTES:
+            raise ValueError(
+                f"metadata of {len(metadata)} bytes exceeds the "
+                f"{MAX_METADATA_BYTES}-byte header field"
+            )
+        # Extent layout: [header][payload][metadata]; metadata is persisted
+        # into the region at seal time so a restart can recover it.
+        total_size = self._header_size + data_size + len(metadata)
         with self._table.lock:
-            allocation = self._allocate_with_eviction(data_size)
+            allocation = self._allocate_with_eviction(total_size)
+            generation = 0
+            if self._header_size:
+                generation = self._next_generation
+                self._next_generation += 1
             entry = ObjectEntry(
                 object_id=object_id,
                 allocation=allocation,
                 data_size=data_size,
-                metadata=bytes(metadata),
+                metadata=metadata,
                 created_at_ns=self._clock.now_ns,
+                generation=generation,
+                header_size=self._header_size,
             )
             self._table.insert(entry)
+            if self._header_size:
+                # Unsealed header: fabric readers that race the producer
+                # see "not sealed" and fail typed rather than reading a
+                # torn payload. Header writes are untimed bookkeeping (the
+                # store process touches its own region).
+                self._write_header(entry, flags=0)
         self.counters.inc("objects_created")
         self.counters.inc("bytes_created", data_size)
         return entry
+
+    def _write_header(
+        self, entry: ObjectEntry, flags: int, generation: int | None = None
+    ) -> None:
+        header = ObjectHeader(
+            object_id=entry.object_id.binary(),
+            generation=entry.generation if generation is None else generation,
+            data_size=entry.data_size,
+            meta_size=len(entry.metadata),
+            flags=flags,
+            payload_crc=entry.payload_crc,
+            meta_crc=crc32c(entry.metadata) if entry.metadata else 0,
+            sealed_at_s=int(entry.sealed_at_ns // 1_000_000_000),
+        )
+        self._region.write(entry.allocation.offset, header.pack())
+
+    def _retire_header(self, entry: ObjectEntry) -> None:
+        """Bump the in-region generation and clear the seal flag *before*
+        the extent returns to the allocator: a concurrent fabric reader
+        holding a descriptor then deterministically observes a stale header
+        (typed StaleDescriptorError) instead of silently reading bytes the
+        allocator has reused."""
+        if not entry.header_size:
+            return
+        retired_generation = self._next_generation
+        self._next_generation += 1
+        self._write_header(entry, flags=0, generation=retired_generation)
 
     def _allocate_with_eviction(self, data_size: int):
         try:
@@ -173,6 +269,7 @@ class PlasmaStore:
 
     def _evict_entry(self, entry: ObjectEntry) -> None:
         self._table.remove(entry.object_id)
+        self._retire_header(entry)
         self._allocator.free(entry.allocation.offset)
         self.counters.inc("objects_evicted")
         self.counters.inc("bytes_evicted", entry.allocation.padded_size)
@@ -182,7 +279,21 @@ class PlasmaStore:
 
     def seal_object(self, object_id: ObjectID) -> ObjectEntry:
         """Make the object immutable and announce it."""
-        entry = self._table.seal(object_id, sealed_at_ns=self._clock.now_ns)
+        with self._table.lock:
+            entry = self._table.seal(object_id, sealed_at_ns=self._clock.now_ns)
+            if entry.header_size:
+                # Persist metadata behind the payload, checksum the payload,
+                # and only then flip the seal flag in the region — the
+                # header stays "unsealed" until the extent is fully
+                # consistent, so a racing fabric reader fails typed.
+                if entry.metadata:
+                    self._region.write(
+                        entry.payload_offset + entry.data_size, entry.metadata
+                    )
+                entry.payload_crc = crc32c(
+                    self._region.view(entry.payload_offset, entry.data_size)
+                )
+                self._write_header(entry, flags=FLAG_SEALED)
         self.counters.inc("objects_sealed")
         self._notify(SealNotification(entry.object_id, entry.data_size))
         return entry
@@ -196,6 +307,7 @@ class PlasmaStore:
                     f"{object_id!r} cannot be deleted before sealing"
                 )
             self._table.remove(object_id)
+            self._retire_header(entry)
             self._allocator.free(entry.allocation.offset)
         self.counters.inc("objects_deleted")
         self._notify(SealNotification(entry.object_id, entry.data_size, deleted=True))
@@ -221,6 +333,11 @@ class PlasmaStore:
             raise ObjectNotFoundError(f"{object_id!r} not found in {self._name}")
         if not entry.is_sealed:
             raise ObjectNotSealedError(f"{object_id!r} exists but is not sealed")
+        if entry.quarantined:
+            raise ObjectCorruptedError(
+                f"{object_id!r} is quarantined in {self._name}: its payload "
+                f"failed checksum verification"
+            )
         return entry
 
     def lookup_descriptor(self, object_id: ObjectID) -> dict | None:
@@ -232,7 +349,7 @@ class PlasmaStore:
         """
         with self._table.lock:
             entry = self._table.lookup(object_id)
-            if entry is None or not entry.is_sealed:
+            if entry is None or not entry.is_sealed or entry.quarantined:
                 return None
             return entry.describe()
 
@@ -247,8 +364,9 @@ class PlasmaStore:
     # -- buffers ----------------------------------------------------------------------
 
     def local_buffer(self, entry: ObjectEntry) -> PlasmaBuffer:
-        """A buffer handle for a locally stored object."""
-        abs_offset = self._region.absolute(entry.allocation.offset)
+        """A buffer handle for a locally stored object (payload bytes only;
+        the in-region header sits just before the buffer)."""
+        abs_offset = self._region.absolute(entry.payload_offset)
         source = LocalBufferSource(self._endpoint, abs_offset)
         return PlasmaBuffer(
             entry.object_id,
@@ -256,6 +374,192 @@ class PlasmaStore:
             entry.data_size,
             sealed=entry.is_sealed,
             metadata=entry.metadata,
+        )
+
+    # -- integrity: scrub / quarantine / repair ------------------------------------------
+
+    def verify_object(self, entry: ObjectEntry) -> str | None:
+        """Check one sealed object's in-region bytes against its seal-time
+        integrity metadata. Returns None when intact, else a short reason
+        (the scrubber's detection primitive; untimed local work)."""
+        if not entry.header_size or not entry.is_sealed:
+            return None
+        raw = self._region.read(entry.allocation.offset, HEADER_SIZE)
+        header = ObjectHeader.unpack(raw)
+        if header is None:
+            return "header unreadable (bad magic or header CRC)"
+        if header.object_id != entry.object_id.binary():
+            return "header object id mismatch"
+        if header.generation != entry.generation:
+            return "header generation mismatch"
+        if not header.sealed:
+            return "seal flag lost"
+        payload = self._region.view(entry.payload_offset, entry.data_size)
+        if crc32c(payload) != entry.payload_crc:
+            return "payload checksum mismatch"
+        if entry.metadata:
+            meta = self._region.read(
+                entry.payload_offset + entry.data_size, len(entry.metadata)
+            )
+            if crc32c(meta) != crc32c(entry.metadata):
+                return "metadata checksum mismatch"
+        return None
+
+    def quarantine_object(self, object_id: ObjectID) -> ObjectEntry:
+        """Mark a corrupt object: reads answer ObjectCorruptedError and
+        lookups stop advertising it, but the extent stays registered so a
+        repair can write good bytes back in place."""
+        with self._table.lock:
+            entry = self._table.get(object_id)
+            entry.quarantined = True
+            if entry.header_size:
+                self._write_header(entry, flags=FLAG_SEALED | FLAG_QUARANTINED)
+        self.counters.inc("objects_quarantined")
+        return entry
+
+    def repair_object(self, object_id: ObjectID, data) -> ObjectEntry:
+        """Overwrite a (typically quarantined) object's payload with known
+        good bytes, re-seal its header, and lift the quarantine."""
+        mv = memoryview(data)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        with self._table.lock:
+            entry = self._table.get(object_id)
+            if len(mv) != entry.data_size:
+                raise ObjectStoreError(
+                    f"repair payload is {len(mv)} bytes; "
+                    f"{object_id!r} holds {entry.data_size}"
+                )
+            self._region.write(entry.payload_offset, mv)
+            if entry.metadata:
+                self._region.write(
+                    entry.payload_offset + entry.data_size, entry.metadata
+                )
+            entry.payload_crc = crc32c(
+                self._region.view(entry.payload_offset, entry.data_size)
+            )
+            entry.quarantined = False
+            if entry.header_size:
+                self._write_header(entry, flags=FLAG_SEALED)
+        self.counters.inc("objects_repaired")
+        return entry
+
+    # -- restart recovery ----------------------------------------------------------------
+
+    def recover_from_region(self) -> RecoveryReport:
+        """Rebuild the object table and the allocator free list by scanning
+        the region for sealed-object headers.
+
+        This is the restart path: the exposed (disaggregated) region
+        outlives the store process, so a fresh store constructed over the
+        same region can re-register every sealed extent. Unsealed and
+        retired headers are treated as free space — exactly the semantics
+        the retire-before-free protocol guarantees. Objects whose payload or
+        metadata fails its checksum are recovered *quarantined* so the
+        scrubber can repair them from replicas instead of losing them.
+        """
+        if not self._header_size:
+            raise ObjectStoreError(
+                "recovery requires integrity_headers: without in-region "
+                "headers there is nothing to scan"
+            )
+        if len(self._table):
+            raise ObjectStoreError(
+                f"recover_from_region needs an empty store; {self._name} "
+                f"already holds {len(self._table)} objects"
+            )
+        align = self._config.alignment
+        # Headers only ever start at allocation offsets, which are aligned —
+        # so the scan inspects one 4-byte magic probe per alignment quantum,
+        # vectorised over the whole region in one numpy pass.
+        data = np.frombuffer(self._region.readonly_view(), dtype=np.uint8)
+        nrows = self._region.size // align
+        rows = data[: nrows * align].reshape(nrows, align)
+        magic = np.frombuffer(HEADER_MAGIC, dtype=np.uint8)
+        hits = np.nonzero((rows[:, : len(magic)] == magic).all(axis=1))[0]
+
+        candidates = [int(row) * align for row in hits]
+        recovered = quarantined = skipped = 0
+        bytes_recovered = 0
+        max_generation = 0
+        cursor = 0  # end of the last accepted extent
+        with self._table.lock:
+            for offset in candidates:
+                if offset < cursor:
+                    # Inside an accepted extent: payload bytes that happen
+                    # to contain the magic, not a real header.
+                    continue
+                if offset + HEADER_SIZE > self._region.size:
+                    skipped += 1
+                    continue
+                header = ObjectHeader.unpack(
+                    self._region.read(offset, HEADER_SIZE)
+                )
+                if header is None:
+                    skipped += 1
+                    continue
+                max_generation = max(max_generation, header.generation)
+                if not header.sealed:
+                    skipped += 1  # retired or mid-write extent = free space
+                    continue
+                extent = align_up(header.extent_bytes, align)
+                if offset + extent > self._region.size:
+                    skipped += 1
+                    continue
+                try:
+                    allocation = self._allocator.reserve(
+                        offset, header.extent_bytes
+                    )
+                except AllocationError:
+                    skipped += 1
+                    continue
+                metadata = self._region.read(
+                    offset + HEADER_SIZE + header.data_size, header.meta_size
+                )
+                meta_ok = (
+                    crc32c(metadata) == header.meta_crc
+                    if header.meta_size
+                    else True
+                )
+                payload_ok = (
+                    crc32c(self._region.view(offset + HEADER_SIZE, header.data_size))
+                    == header.payload_crc
+                )
+                corrupt = header.quarantined or not (meta_ok and payload_ok)
+                entry = ObjectEntry(
+                    object_id=ObjectID(header.object_id),
+                    allocation=allocation,
+                    data_size=header.data_size,
+                    metadata=metadata,
+                    state=ObjectState.SEALED,
+                    created_at_ns=header.sealed_at_s * 1_000_000_000,
+                    sealed_at_ns=header.sealed_at_s * 1_000_000_000,
+                    generation=header.generation,
+                    header_size=HEADER_SIZE,
+                    payload_crc=header.payload_crc,
+                    quarantined=corrupt,
+                )
+                try:
+                    self._table.insert(entry)
+                except ObjectExistsError:
+                    self._allocator.free(allocation.offset)
+                    skipped += 1
+                    continue
+                cursor = offset + extent
+                recovered += 1
+                bytes_recovered += header.data_size
+                if corrupt:
+                    quarantined += 1
+            self._next_generation = max_generation + 1
+        self.counters.inc("objects_recovered", recovered)
+        self.counters.inc("objects_recovered_quarantined", quarantined)
+        return RecoveryReport(
+            candidates=len(candidates),
+            recovered=recovered,
+            quarantined=quarantined,
+            skipped=skipped,
+            bytes_recovered=bytes_recovered,
+            max_generation=max_generation,
         )
 
     # -- notifications ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 import traceback
 
 from repro.common.errors import (
+    ObjectCorruptedError,
     ObjectExistsError,
     ObjectNotFoundError,
     ObjectNotSealedError,
@@ -25,6 +26,7 @@ from repro.rpc.service import Service
 from repro.rpc.status import StatusCode
 
 _EXCEPTION_STATUS = (
+    (ObjectCorruptedError, StatusCode.DATA_LOSS),
     (ObjectNotFoundError, StatusCode.NOT_FOUND),
     (ObjectExistsError, StatusCode.ALREADY_EXISTS),
     (ObjectNotSealedError, StatusCode.FAILED_PRECONDITION),
@@ -63,6 +65,18 @@ class RpcServer:
         name = service.service_name()
         if name in self._services:
             raise RpcError(f"service {name!r} already registered on {self._host}")
+        methods = service.rpc_methods()
+        if not methods:
+            raise RpcError(f"service {name!r} exposes no @rpc_method handlers")
+        self._services[name] = methods
+
+    def replace_service(self, service: Service) -> None:
+        """Swap a registered service for a fresh instance — the restart
+        path: a recovered store process re-binds its service on the same
+        endpoint while peers keep their existing channels."""
+        name = service.service_name()
+        if name not in self._services:
+            raise RpcError(f"service {name!r} not registered on {self._host}")
         methods = service.rpc_methods()
         if not methods:
             raise RpcError(f"service {name!r} exposes no @rpc_method handlers")

@@ -16,6 +16,7 @@ class StatusCode(enum.Enum):
     UNIMPLEMENTED = 12
     INTERNAL = 13
     UNAVAILABLE = 14
+    DATA_LOSS = 15
 
     def __str__(self) -> str:  # keep error text readable
         return self.name
