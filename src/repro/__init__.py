@@ -47,6 +47,7 @@ from repro.common.errors import (
     ReproError,
     StaleDescriptorError,
 )
+from repro.obs import CorrelationContext, MetricsRegistry, Telemetry
 from repro.core import Cluster, DisaggregatedClient, DisaggregatedStore
 from repro.baseline import ScaleOutCluster
 from repro.plasma import PlasmaBuffer, PlasmaClient, PlasmaStore
@@ -75,6 +76,9 @@ __all__ = [
     "HealthConfig",
     "ChaosConfig",
     "FaultPlan",
+    "MetricsRegistry",
+    "Telemetry",
+    "CorrelationContext",
     "ReproError",
     "ObjectStoreError",
     "ObjectExistsError",

@@ -9,6 +9,9 @@ Commands:
   create-seal series with the paper's anchors alongside.
 * ``ablation`` — run one of the ablation studies (allocator, sharing,
   cache).
+* ``metrics`` — run a replicated workload with the telemetry plane
+  enabled and print the cluster-wide Prometheus scrape plus the top-k
+  latency families (exact p50/p95/p99 in simulated time).
 * ``chaos``  — run a seeded fault-injection scenario (node crashes, link
   faults, blackholes) against a replicated workload and show the
   deterministic fault timeline plus degraded-mode outcome counts.
@@ -57,10 +60,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         from repro.common.trace import Tracer
 
         tracer = Tracer(cluster.clock)
-        for name in cluster.node_names():
-            cluster.store(name).tracer = tracer
-            for channel in cluster.node(name).channels.values():
-                channel._tracer = tracer  # noqa: SLF001 — opt-in wiring
+        cluster.attach_tracer(tracer)
     producer = cluster.client("node0")
     remote = cluster.client(f"node{args.nodes - 1}")
     oid = cluster.new_object_id()
@@ -199,6 +199,50 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled ablation {args.kind!r}")  # pragma: no cover
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.units import KB
+    from repro.core import Cluster
+    from repro.scrub import Scrubber
+
+    if args.nodes < 2:
+        print("error: metrics needs --nodes >= 2", file=sys.stderr)
+        return 2
+    cfg = ClusterConfig(seed=args.seed).with_store(capacity_bytes=256 * MiB)
+    cluster = Cluster(
+        cfg,
+        n_nodes=args.nodes,
+        check_remote_uniqueness=False,
+        enable_lookup_cache=True,
+        metrics=True,
+    )
+    producer = cluster.client("node0")
+    consumer = cluster.client(f"node{args.nodes - 1}")
+    ids = cluster.new_object_ids(args.objects)
+    payload = bytes(args.size_kb * KB)
+    for oid in ids:
+        producer.put_bytes(oid, payload, replicas=2)
+    for _ in range(args.rounds):
+        bufs = consumer.get(ids)
+        for buf in bufs:
+            buf.charge_sequential_read()
+        for oid in ids:
+            consumer.release(oid)
+        cluster.health_tick()
+        cluster.clock.advance(5_000_000)
+    # One anti-entropy pass so scrub counters appear in the scrape.
+    Scrubber(cluster.store("node0"), replication_target=1).run()
+    telemetry = cluster.metrics()
+    if args.json:
+        print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    print(telemetry.prometheus())
+    print(f"top {args.top} latency families (by total simulated time):")
+    print(telemetry.format_top(args.top))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -250,6 +294,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_nodes=args.nodes,
             check_remote_uniqueness=False,
             fault_plan=plan,
+            metrics=True,
         )
         producer = cluster.client("node0")
         consumer = cluster.client(f"node{args.nodes - 1}")
@@ -274,10 +319,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cluster.clock.advance(horizon_ns / rounds)
         timeline = cluster.chaos.timeline()
         snapshot = cluster.health_snapshot()
-        return timeline, outcomes, snapshot
+        # Fault drills must be observable in the scrape, not just logged:
+        # surface breaker trips and deadline expiries from the telemetry.
+        scrape = cluster.metrics().prometheus()
+        telemetry_lines = [
+            line
+            for line in scrape.splitlines()
+            if line.startswith(
+                ("repro_rpc_breaker_opens", "repro_rpc_client_deadline_exceeded")
+            )
+        ]
+        return timeline, outcomes, snapshot, telemetry_lines
 
-    timeline, outcomes, snapshot = run_once()
-    timeline2, outcomes2, _ = run_once()
+    timeline, outcomes, snapshot, telemetry_lines = run_once()
+    timeline2, outcomes2, _, telemetry_lines2 = run_once()
     print("applied fault timeline:")
     for line in timeline:
         print(f"  {line}")
@@ -290,7 +345,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  {node} -> {peer}: breaker={view['breaker']} "
                   f"suspect={view['suspect']} "
                   f"missed={view['heartbeats_missed']}/{view['heartbeats_sent']}")
-    deterministic = timeline == timeline2 and outcomes == outcomes2
+    if telemetry_lines:
+        print("telemetry (metrics scrape excerpts):")
+        for line in telemetry_lines:
+            print(f"  {line}")
+    deterministic = (
+        timeline == timeline2
+        and outcomes == outcomes2
+        and telemetry_lines == telemetry_lines2
+    )
     print(f"replay with same seed identical: {'yes' if deterministic else 'NO'}")
     return 0 if deterministic else 1
 
@@ -418,6 +481,21 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("kind", choices=("allocator", "sharing", "cache"))
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a replicated workload and print the Prometheus scrape "
+             "plus top-k latency families",
+    )
+    metrics.add_argument("--nodes", type=int, default=3)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--objects", type=int, default=20)
+    metrics.add_argument("--size-kb", type=int, default=100)
+    metrics.add_argument("--rounds", type=int, default=5)
+    metrics.add_argument("--top", type=int, default=8,
+                         help="latency families to show in the summary table")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the JSON snapshot instead of the scrape")
+
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection scenario with resilience stats"
     )
@@ -457,6 +535,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "bench": _cmd_bench,
     "ablation": _cmd_ablation,
+    "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
     "recover": _cmd_recover,
 }

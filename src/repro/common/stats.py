@@ -200,13 +200,25 @@ class DistributionSummary:
 
 @dataclass
 class Counter:
-    """A named bag of monotonically increasing counters.
+    """Deprecated: use :class:`repro.obs.metrics.CounterGroup`.
 
-    Used by stores/links for operational metrics (objects created, bytes
-    read over the fabric, RPCs served...).
+    The original ad-hoc counter bag, kept only so external callers keep
+    working; every in-tree component now uses ``CounterGroup``, which has
+    the same interface plus registry binding for Prometheus export.
     """
 
     values: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        import warnings
+
+        warnings.warn(
+            "repro.common.stats.Counter is deprecated; use "
+            "repro.obs.metrics.CounterGroup (same interface, exportable "
+            "via MetricsRegistry.register_group)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     def inc(self, name: str, amount: int = 1) -> None:
         if amount < 0:

@@ -11,6 +11,7 @@ like Fig 6's "dominated by gRPC" claim directly visible on a timeline.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -148,8 +149,15 @@ class Tracer:
         return sum(e.duration_ns for e in self._events if e.category == category)
 
     def summary(self) -> dict[tuple[str, str], dict]:
-        """Per (category, name): count and total simulated duration."""
+        """Per (category, name): count and total simulated duration.
+
+        A ring tracer that overflowed reports the drop count as a
+        ``("tracer", "dropped")`` row so truncated totals are visibly
+        incomplete rather than silently short.
+        """
         out: dict[tuple[str, str], dict] = {}
+        if self.dropped:
+            out[("tracer", "dropped")] = {"count": self.dropped, "total_ns": 0}
         for event in self._events:
             key = (event.category, event.name)
             row = out.setdefault(key, {"count": 0, "total_ns": 0})
@@ -189,6 +197,6 @@ class Tracer:
             )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
+    def write_chrome_trace(self, path: "str | os.PathLike[str]") -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
             json.dump(self.to_chrome_trace(), fh)

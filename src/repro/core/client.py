@@ -48,8 +48,18 @@ class RemoteSubscription:
 class DisaggregatedClient(PlasmaClient):
     """A Plasma client whose local store is part of a disaggregated mesh."""
 
-    def __init__(self, name: str, store: DisaggregatedStore, ipc: IpcChannel):
+    def __init__(
+        self,
+        name: str,
+        store: DisaggregatedStore,
+        ipc: IpcChannel,
+        correlation=None,
+    ):
         super().__init__(name, store, ipc)
+        # CorrelationContext shared cluster-wide; each top-level operation
+        # (Get/Put) mints one request id that every nested RPC and fabric
+        # span inherits.
+        self._correlation = correlation
 
     @property
     def store(self) -> DisaggregatedStore:
@@ -67,6 +77,38 @@ class DisaggregatedClient(PlasmaClient):
         """
         if not object_ids:
             return []
+        if self._correlation is None:
+            return self._get_op(object_ids, allow_missing, None)
+        rid = self._correlation.begin()
+        try:
+            buffers = self._get_op(object_ids, allow_missing, rid)
+        finally:
+            self._correlation.end()
+        # Stamp handles so deferred reads (read_all after the Get returned)
+        # still attribute their fabric spans to this request.
+        for buffer in buffers:
+            if buffer is not None and buffer.is_remote:
+                buffer._set_correlation(self._correlation, rid)
+        return buffers
+
+    def _get_op(
+        self,
+        object_ids: list[ObjectID],
+        allow_missing: bool,
+        rid: str | None,
+    ) -> list[PlasmaBuffer]:
+        tracer = self._store.tracer
+        if tracer is None:
+            return self._get_inner(object_ids, allow_missing)
+        args = {"n": len(object_ids)}
+        if rid is not None:
+            args["rid"] = rid
+        with tracer.span("client", "get", track=self._name, **args):
+            return self._get_inner(object_ids, allow_missing)
+
+    def _get_inner(
+        self, object_ids: list[ObjectID], allow_missing: bool
+    ) -> list[PlasmaBuffer]:
         self._ipc.charge_request(nobjects=len(object_ids))
         buffers = self._store.get_buffers(object_ids, allow_missing=allow_missing)
         for buffer in buffers:
@@ -109,8 +151,24 @@ class DisaggregatedClient(PlasmaClient):
         target is skipped, never failing the write.
         """
         self._check_replicas(replicas)
-        super().put_bytes(object_id, data, metadata)
-        self._replicate(object_id, replicas)
+        if self._correlation is None:
+            super().put_bytes(object_id, data, metadata)
+            self._replicate(object_id, replicas)
+            return object_id
+        rid = self._correlation.begin()
+        try:
+            tracer = self._store.tracer
+            if tracer is not None:
+                with tracer.span(
+                    "client", "put", track=self._name, rid=rid, replicas=replicas
+                ):
+                    super().put_bytes(object_id, data, metadata)
+                    self._replicate(object_id, replicas)
+            else:
+                super().put_bytes(object_id, data, metadata)
+                self._replicate(object_id, replicas)
+        finally:
+            self._correlation.end()
         return object_id
 
     def _check_replicas(self, replicas: int) -> None:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.chaos import ChaosRuntime, FaultPlan
 from repro.common.clock import SimClock
 from repro.common.config import ClusterConfig
+from repro.common.errors import ObjectStoreError
 from repro.common.ids import UniqueIDGenerator
 from repro.common.rng import DeterministicRng
 from repro.core.client import DisaggregatedClient
@@ -31,6 +32,9 @@ from repro.core.sharing import (
 )
 from repro.core.store import DisaggregatedStore
 from repro.network.ipc import IpcChannel
+from repro.obs.correlation import CorrelationContext
+from repro.obs.export import Telemetry
+from repro.obs.metrics import MetricsRegistry
 from repro.rpc.channel import Channel
 from repro.rpc.server import RpcServer
 from repro.thymesisflow.fabric import ThymesisFabric
@@ -71,10 +75,17 @@ class Cluster:
         directory_buckets: int = 4096,
         tracer=None,
         fault_plan: FaultPlan | None = None,
+        metrics: bool = False,
     ):
         self._config = config or ClusterConfig()
         self._config.validate()
         self._tracer = tracer
+        # Correlation ids only exist when someone can observe them (a
+        # tracer or the metrics plane); otherwise every component keeps
+        # its None fast path.
+        self._correlation = (
+            CorrelationContext() if (tracer is not None or metrics) else None
+        )
         if node_names is None:
             if n_nodes < 2:
                 raise ValueError("a disaggregated cluster needs >= 2 nodes")
@@ -162,7 +173,10 @@ class Cluster:
                 )
                 store.attach_directory(directory)
             store.tracer = tracer
+            store.correlation = self._correlation
             server = RpcServer(name)
+            server.tracer = tracer
+            server.clock = self._clock
             server.add_service(StoreService(store))
             ipc = IpcChannel(
                 self._clock, self._config.ipc, self._rng.spawn("ipc", name)
@@ -177,6 +191,9 @@ class Cluster:
         # Phase 2: full-mesh links and apertures (every node maps every
         # other node's exposed region).
         self._fabric.connect_full_mesh()
+        for link in self._fabric.links():
+            link.tracer = tracer
+            link.correlation = self._correlation
         if self._chaos is not None:
             for link in self._fabric.links():
                 self._chaos.attach_link(link)
@@ -211,6 +228,7 @@ class Cluster:
                             name=f"{reader_name}->{home_name}",
                         ),
                         chaos=self._chaos,
+                        correlation=self._correlation,
                     )
                 reader.channels[home_name] = channel
                 remote_region = self._remote_regions[(reader_name, home_name)]
@@ -240,6 +258,42 @@ class Cluster:
                         channel.breaker,
                     )
                 node.monitor = monitor
+
+        # Phase 5: metrics plane (opt-in). One registry per node plus one
+        # for the shared fabric; everything binds once, here, so hot paths
+        # stay branch-on-None.
+        self._registries: dict[str, MetricsRegistry] = {}
+        self._telemetry: Telemetry | None = None
+        if metrics:
+            fabric_registry = MetricsRegistry(node="fabric")
+            for link in self._fabric.links():
+                link.attach_metrics(fabric_registry)
+            for name, node in self._nodes.items():
+                registry = MetricsRegistry(node=name)
+                self._attach_node_metrics(node, registry)
+                self._registries[name] = registry
+            self._registries["fabric"] = fabric_registry
+            self._telemetry = Telemetry(self._registries)
+
+    def _attach_node_metrics(self, node: "ClusterNode", registry: MetricsRegistry) -> None:
+        node.store.attach_metrics(registry)
+        node.server.attach_metrics(registry)
+        registry.register_group(node.ipc.counters, "ipc")
+        registry.register_group(
+            node.endpoint.counters, "thymesisflow_endpoint"
+        )
+        for peer_name, channel in sorted(node.channels.items()):
+            if hasattr(channel, "attach_metrics"):
+                channel.attach_metrics(registry)
+            else:  # dmsg rings: counters only
+                registry.register_group(channel.counters, "dmsg", peer=peer_name)
+        for (reader_name, home_name), region in sorted(self._remote_regions.items()):
+            if reader_name == node.name:
+                registry.register_group(
+                    region.counters, "thymesisflow_aperture", home=home_name
+                )
+        if node.monitor is not None:
+            node.monitor.attach_metrics(registry)
 
     # -- dmsg wiring ---------------------------------------------------------------
 
@@ -308,6 +362,43 @@ class Cluster:
         """The fault-injection runtime, when built with a fault_plan."""
         return self._chaos
 
+    @property
+    def correlation(self) -> CorrelationContext | None:
+        """The shared correlation context (None unless tracing/metrics)."""
+        return self._correlation
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire *tracer* (plus a correlation context) into every layer of
+        an already-built cluster — the CLI's opt-in ``--trace`` path.
+        Attach before creating clients so their operations mint ids."""
+        self._tracer = tracer
+        if self._correlation is None:
+            self._correlation = CorrelationContext()
+        for node in self._nodes.values():
+            node.store.tracer = tracer
+            node.store.correlation = self._correlation
+            node.server.tracer = tracer
+            node.server.clock = self._clock
+            for channel in node.channels.values():
+                channel._tracer = tracer  # noqa: SLF001 — co-designed wiring
+                channel._correlation = self._correlation  # noqa: SLF001
+        for link in self._fabric.links():
+            link.tracer = tracer
+            link.correlation = self._correlation
+
+    def metrics(self) -> Telemetry:
+        """The cluster-wide telemetry view (requires ``metrics=True``)."""
+        if self._telemetry is None:
+            raise ObjectStoreError(
+                "cluster was built without metrics; pass Cluster(..., "
+                "metrics=True) to enable the telemetry plane"
+            )
+        return self._telemetry
+
+    def registry(self, node: str) -> MetricsRegistry:
+        """One node's metric registry (requires ``metrics=True``)."""
+        return self.metrics().registry(node)
+
     def health_tick(self) -> dict[str, dict[str, bool]]:
         """Pump every node's failure detector once.
 
@@ -366,6 +457,7 @@ class Cluster:
             **self._store_kwargs,
         )
         store.tracer = self._tracer
+        store.correlation = self._correlation
         if node.directory is not None:
             # The directory's buckets live in the region and survived; the
             # recovered store re-attaches the same instance.
@@ -391,6 +483,10 @@ class Cluster:
         node.server.replace_service(StoreService(store))
         node.server.restart()
         node.store = store
+        if name in self._registries:
+            # Re-binding replaces the dead store's group/gauge bindings;
+            # latency histograms keep accumulating across the restart.
+            store.attach_metrics(self._registries[name])
         return report
 
     def node_names(self) -> list[str]:
@@ -413,7 +509,9 @@ class Cluster:
         if client_name is None:
             self._client_seq += 1
             client_name = f"client{self._client_seq}@{node_name}"
-        return DisaggregatedClient(client_name, node.store, node.ipc)
+        return DisaggregatedClient(
+            client_name, node.store, node.ipc, correlation=self._correlation
+        )
 
     def new_object_id(self):
         """A fresh system-unique id from the cluster's deterministic stream."""

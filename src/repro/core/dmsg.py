@@ -26,7 +26,7 @@ from repro.common.clock import SimClock
 from repro.common.config import DmsgConfig
 from repro.common.errors import RpcError, RpcStatusError
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.core.ring import RingReader, RingWriter
 from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.server import RpcServer
@@ -66,7 +66,7 @@ class DmsgChannel:
         self._clock = clock
         self._config = config
         self._rng = rng.spawn("dmsg", local_host, server.host)
-        self.counters = Counter()
+        self.counters = CounterGroup()
         self._closed = False
 
     @property

@@ -29,7 +29,7 @@ import enum
 from repro.common.clock import SimClock
 from repro.common.config import HealthConfig
 from repro.common.errors import RpcStatusError
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.rpc.status import StatusCode
 
 
@@ -58,7 +58,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at_ns = 0
         self._half_open_in_flight = 0
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     @property
     def state(self) -> BreakerState:
@@ -67,6 +67,23 @@ class CircuitBreaker:
     @property
     def fail_fast_cost_ns(self) -> float:
         return self._config.breaker_fail_fast_ns
+
+    def attach_metrics(self, registry, **labels: str) -> None:
+        """Bind transition counters plus a sampled state gauge
+        (0=closed, 1=open, 2=half-open)."""
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(self.counters, "rpc_breaker", **labels)
+        state_code = {
+            BreakerState.CLOSED: 0,
+            BreakerState.OPEN: 1,
+            BreakerState.HALF_OPEN: 2,
+        }
+        registry.gauge(
+            "rpc_breaker_state",
+            "Breaker state: 0=closed, 1=open, 2=half-open.",
+            labels=tuple(sorted(labels)),
+        ).labels(**labels).set_function(lambda: state_code[self._state])
 
     def allow(self) -> bool:
         """May a call proceed right now? (Open → False, except probes.)"""
@@ -139,11 +156,27 @@ class HealthMonitor:
         self._clock = clock
         self._config = config
         self._peers: dict[str, PeerHealth] = {}
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     @property
     def node(self) -> str:
         return self._node
+
+    def attach_metrics(self, registry) -> None:
+        """Bind heartbeat counters and per-peer suspicion gauges. Call
+        after the peer set is wired (gauges are created per known peer)."""
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(self.counters, "health")
+        suspect = registry.gauge(
+            "health_peer_suspect",
+            "1 while the peer is suspected dead (silent past timeout).",
+            labels=("peer",),
+        )
+        for name in self.peers():
+            suspect.labels(peer=name).set_function(
+                lambda n=name: 1.0 if self.is_suspect(n) else 0.0
+            )
 
     def add_peer(self, name: str, stub, breaker: CircuitBreaker) -> None:
         if name in self._peers:

@@ -106,6 +106,35 @@ class DisaggregatedStore(PlasmaStore):
         # (replica side).
         self._replicated_to: dict[ObjectID, tuple[str, ...]] = {}
         self._replicas_of: dict[ObjectID, str] = {}
+        self._m_get = None
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Local-store metrics plus Get latency and lookup-cache gauges."""
+        super().attach_metrics(registry)
+        if not getattr(registry, "enabled", True):
+            return
+        self._m_get = registry.histogram(
+            "plasma_get_latency_ns",
+            "Simulated end-to-end Get latency at the store "
+            "(lookup + pin + buffer construction).",
+            labels=("store",),
+        ).labels(store=self._name)
+        if self._lookup_cache is not None:
+            entries = registry.gauge(
+                "cache_entries",
+                "Live lookup-cache descriptors.",
+                labels=("store",),
+            )
+            hit_rate = registry.gauge(
+                "cache_hit_rate",
+                "Lookup-cache hit rate since start.",
+                labels=("store",),
+            )
+            cache = self._lookup_cache
+            entries.labels(store=self._name).set_function(lambda: len(cache))
+            hit_rate.labels(store=self._name).set_function(lambda: cache.hit_rate)
 
     # -- topology ---------------------------------------------------------------
 
@@ -255,12 +284,23 @@ class DisaggregatedStore(PlasmaStore):
         """
         if not object_ids:
             return []
-        if self.tracer is not None:
-            with self.tracer.span(
-                "store", "get_buffers", track=self.node, n=len(object_ids)
-            ):
-                return self._get_buffers_inner(object_ids, allow_missing)
-        return self._get_buffers_inner(object_ids, allow_missing)
+        if self.tracer is None and self._m_get is None:
+            return self._get_buffers_inner(object_ids, allow_missing)
+        start_ns = self.clock.now_ns
+        try:
+            if self.tracer is not None:
+                args = {"n": len(object_ids)}
+                rid = self.correlation.current if self.correlation else None
+                if rid is not None:
+                    args["rid"] = rid
+                with self.tracer.span(
+                    "store", "get_buffers", track=self.node, **args
+                ):
+                    return self._get_buffers_inner(object_ids, allow_missing)
+            return self._get_buffers_inner(object_ids, allow_missing)
+        finally:
+            if self._m_get is not None:
+                self._m_get.observe(self.clock.now_ns - start_ns)
 
     def _get_buffers_inner(
         self, object_ids: list[ObjectID], allow_missing: bool

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.common.clock import SimClock
 from repro.common.config import IpcConfig
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 
 
 class IpcChannel:
@@ -27,7 +27,7 @@ class IpcChannel:
         self._clock = clock
         self._config = config
         self._rng = rng.spawn("ipc")
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     @property
     def config(self) -> IpcConfig:

@@ -18,7 +18,7 @@ from repro.common.clock import SimClock
 from repro.common.config import LanConfig
 from repro.common.errors import ConnectionClosedError, NetworkError
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.network.model import TransferModel
 
 
@@ -36,7 +36,7 @@ class Network:
             jitter_sigma=config.jitter_sigma,
             rng=self._rng,
         )
-        self.counters = Counter()
+        self.counters = CounterGroup()
         # Fault-injection hook (repro.chaos): while a partition covers a
         # host pair, sends between them fail instead of being charged.
         self.chaos = None  # ChaosRuntime, set by attach_network()

@@ -222,6 +222,13 @@ class PlasmaBuffer:
         self._sealed = sealed
         self._metadata = bytes(metadata)
         self._released = False
+        # (context, rid) stamped by the issuing client so deferred reads
+        # attribute to the Get that produced this handle; None when the
+        # cluster runs without correlation.
+        self._correlation = None
+
+    def _set_correlation(self, context, rid: str) -> None:
+        self._correlation = (context, rid)
 
     # -- metadata ----------------------------------------------------------------
 
@@ -267,11 +274,24 @@ class PlasmaBuffer:
 
     # -- reads (the Figure 7 path) --------------------------------------------------
 
+    def _timed_read(self, offset: int, size: int, out) -> None:
+        """A timed read, re-entering the originating request scope so the
+        fabric spans it triggers carry the Get's correlation id."""
+        if self._correlation is None:
+            self._source.timed_read(offset, size, out=out)
+            return
+        context, rid = self._correlation
+        context.begin(rid)
+        try:
+            self._source.timed_read(offset, size, out=out)
+        finally:
+            context.end()
+
     def read_all(self) -> bytes:
         """Sequentially read the whole payload (timed); returns the bytes."""
         self._check_live()
         out = bytearray(self._size)
-        self._source.timed_read(0, self._size, out=out)
+        self._timed_read(0, self._size, out)
         return bytes(out)
 
     def read_into(self, out) -> None:
@@ -284,13 +304,13 @@ class PlasmaBuffer:
             raise ObjectStoreError(
                 f"output buffer ({len(mv)} B) smaller than object ({self._size} B)"
             )
-        self._source.timed_read(0, self._size, out=mv[: self._size])
+        self._timed_read(0, self._size, mv[: self._size])
 
     def charge_sequential_read(self) -> None:
         """Account the cost of reading the payload without materialising it
         (used by benchmarks that only need timing)."""
         self._check_live()
-        self._source.timed_read(0, self._size, out=None)
+        self._timed_read(0, self._size, None)
 
     def view(self) -> memoryview:
         """Untimed zero-copy window (read-only once sealed)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.common.errors import ObjectStoreError
 from repro.common.ids import ObjectID
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.network.ipc import IpcChannel
 from repro.plasma.buffer import PlasmaBuffer
 from repro.plasma.store import PlasmaStore
@@ -27,7 +27,7 @@ class PlasmaClient:
         # Buffers this client holds references for, by id; get() may hold
         # several handles to the same object.
         self._held: dict[ObjectID, list[PlasmaBuffer]] = {}
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     @property
     def name(self) -> str:

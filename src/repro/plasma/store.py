@@ -36,7 +36,7 @@ from repro.common.errors import (
     OutOfMemoryError,
 )
 from repro.common.ids import ObjectID
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.memory.host import MemoryRegion
 from repro.memory.layout import (
     FLAG_QUARANTINED,
@@ -106,10 +106,74 @@ class PlasmaStore:
         # generation; see repro.memory.layout.
         self._header_size = HEADER_SIZE if config.integrity_headers else 0
         self._next_generation = 1
-        self.counters = Counter()
+        self.counters = CounterGroup()
         # Optional simulated-time tracer (set by the cluster builder when
         # tracing is requested); hot paths guard on it being None.
         self.tracer = None
+        # Optional per-operation correlation context (see repro.obs); set
+        # by the cluster builder alongside the tracer.
+        self.correlation = None
+        # Pre-resolved latency-histogram children; None until
+        # attach_metrics, so the disabled hot path is one `is None` check.
+        self._m_create = None
+        self._m_seal = None
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Bind this store's counters/latency/allocator gauges to *registry*.
+
+        Safe to call again after a restart-recovery rebuilt the store: the
+        group binding and gauge callbacks are replaced in place.
+        """
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(
+            self.counters,
+            "plasma",
+            route={"scrub_": "scrub_", "lookup_cache_": "cache_"},
+            store=self._name,
+        )
+        self._m_create = registry.histogram(
+            "plasma_create_latency_ns",
+            "Simulated time to allocate an object (incl. any eviction).",
+            labels=("store",),
+        ).labels(store=self._name)
+        self._m_seal = registry.histogram(
+            "plasma_seal_latency_ns",
+            "Simulated time to seal an object (checksum + header write).",
+            labels=("store",),
+        ).labels(store=self._name)
+        utilization = registry.gauge(
+            "allocator_utilization",
+            "Fraction of region capacity currently allocated.",
+            labels=("store", "allocator"),
+        )
+        ext_frag = registry.gauge(
+            "allocator_external_fragmentation",
+            "1 - largest_free/free_bytes, sampled at collect time.",
+            labels=("store", "allocator"),
+        )
+        int_frag = registry.gauge(
+            "allocator_internal_fragmentation",
+            "Padding overhead within allocated blocks.",
+            labels=("store", "allocator"),
+        )
+        labels = {"store": self._name, "allocator": self._config.allocator}
+        utilization.labels(**labels).set_function(
+            lambda: self.used_bytes / max(1, self.capacity_bytes)
+        )
+        ext_frag.labels(**labels).set_function(
+            lambda: self._fragmentation().external_fragmentation
+        )
+        int_frag.labels(**labels).set_function(
+            lambda: self._fragmentation().internal_fragmentation
+        )
+
+    def _fragmentation(self):
+        from repro.allocator.metrics import fragmentation_report
+
+        return fragmentation_report(self._config.allocator, self._allocator)
 
     # -- identity -----------------------------------------------------------------
 
@@ -187,6 +251,16 @@ class PlasmaStore:
         """Allocate without the (possibly distributed) uniqueness check —
         for callers that already reserved the id in a batch. Local
         duplicates still fail at table insertion."""
+        if self._m_create is None:
+            return self._create_unchecked_inner(object_id, data_size, metadata)
+        start_ns = self._clock.now_ns
+        entry = self._create_unchecked_inner(object_id, data_size, metadata)
+        self._m_create.observe(self._clock.now_ns - start_ns)
+        return entry
+
+    def _create_unchecked_inner(
+        self, object_id: ObjectID, data_size: int, metadata: bytes = b""
+    ) -> ObjectEntry:
         if data_size <= 0:
             raise ValueError("object size must be positive")
         metadata = bytes(metadata)
@@ -279,6 +353,14 @@ class PlasmaStore:
 
     def seal_object(self, object_id: ObjectID) -> ObjectEntry:
         """Make the object immutable and announce it."""
+        if self._m_seal is None:
+            return self._seal_inner(object_id)
+        start_ns = self._clock.now_ns
+        entry = self._seal_inner(object_id)
+        self._m_seal.observe(self._clock.now_ns - start_ns)
+        return entry
+
+    def _seal_inner(self, object_id: ObjectID) -> ObjectEntry:
         with self._table.lock:
             entry = self._table.seal(object_id, sealed_at_ns=self._clock.now_ns)
             if entry.header_size:

@@ -37,7 +37,7 @@ from repro.common.clock import SimClock
 from repro.common.config import RpcConfig
 from repro.common.errors import RpcError, RpcStatusError
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.server import RpcServer
 from repro.rpc.status import StatusCode
@@ -59,6 +59,7 @@ class Channel:
         *,
         breaker=None,
         chaos=None,
+        correlation=None,
     ):
         self._local_host = local_host
         self._server = server
@@ -68,8 +69,25 @@ class Channel:
         self._tracer = tracer
         self._breaker = breaker
         self._chaos = chaos
-        self.counters = Counter()
+        self._correlation = correlation
+        self.counters = CounterGroup()
+        self._latency = None  # per-(peer, method) histogram family
         self._closed = False
+
+    def attach_metrics(self, registry) -> None:
+        """Bind call counters, per-method latency, and breaker state."""
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(
+            self.counters, "rpc_client", peer=self._server.host
+        )
+        self._latency = registry.histogram(
+            "rpc_client_latency_ns",
+            "Simulated client-observed RPC latency incl. retries/backoff.",
+            labels=("peer", "method"),
+        )
+        if self._breaker is not None:
+            self._breaker.attach_metrics(registry, peer=self._server.host)
 
     @property
     def target(self) -> str:
@@ -183,12 +201,22 @@ class Channel:
             raise RpcError(f"channel to {self._server.host} is closed")
         self._breaker_admit()
         deadline = self._effective_deadline(deadline_ns)
+        start_ns = self._clock.now_ns if self._latency is not None else 0
         try:
             if self._tracer is not None:
+                args = {}
+                rid = (
+                    self._correlation.current
+                    if self._correlation is not None
+                    else None
+                )
+                if rid is not None:
+                    args["rid"] = rid
                 with self._tracer.span(
                     "rpc",
                     f"{service}.{method}",
                     track=f"{self._local_host}->{self._server.host}",
+                    **args,
                 ):
                     response = self._unary_call_inner(
                         service, method, request, deadline
@@ -196,10 +224,18 @@ class Channel:
             else:
                 response = self._unary_call_inner(service, method, request, deadline)
         except RpcStatusError as exc:
+            self._observe_latency(method, start_ns)
             self._breaker_record(exc)
             raise
+        self._observe_latency(method, start_ns)
         self._breaker_record(None)
         return response
+
+    def _observe_latency(self, method: str, start_ns: int) -> None:
+        if self._latency is not None:
+            self._latency.labels(peer=self._server.host, method=method).observe(
+                self._clock.now_ns - start_ns
+            )
 
     def _unary_call_inner(
         self,
@@ -240,7 +276,14 @@ class Channel:
                 )
                 continue
             status, wire_response, detail = self._server.dispatch_wire(
-                service, method, wire_request
+                service,
+                method,
+                wire_request,
+                correlation_id=(
+                    self._correlation.current
+                    if self._correlation is not None
+                    else None
+                ),
             )
             self._advance_within_deadline(
                 self._cost_ns(len(wire_request), len(wire_response)),
@@ -324,11 +367,14 @@ class Channel:
             return []
         self._breaker_admit()
         deadline = self._effective_deadline(deadline_ns)
+        start_ns = self._clock.now_ns if self._latency is not None else 0
         try:
             responses = self._stream_call_inner(service, method, requests, deadline)
         except RpcStatusError as exc:
+            self._observe_latency(method, start_ns)
             self._breaker_record(exc)
             raise
+        self._observe_latency(method, start_ns)
         self._breaker_record(None)
         return responses
 
@@ -382,10 +428,11 @@ class Channel:
         responses: list[dict] = []
         wire_in = 0
         wire_out = 0
+        rid = self._correlation.current if self._correlation is not None else None
         for request in requests:
             wire_request = encode_message(request)
             status, wire_response, detail = self._server.dispatch_wire(
-                service, method, wire_request
+                service, method, wire_request, correlation_id=rid
             )
             wire_in += len(wire_request)
             wire_out += len(wire_response)

@@ -20,7 +20,7 @@ from repro.common.errors import (
     ReproError,
     RpcError,
 )
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.service import Service
 from repro.rpc.status import StatusCode
@@ -41,7 +41,24 @@ class RpcServer:
         self._host = host
         self._services: dict[str, dict[str, object]] = {}
         self._shutdown = False
-        self.counters = Counter()
+        self.counters = CounterGroup()
+        # Opt-in observability, set by the cluster builder: a tracer plus
+        # clock for server-side dispatch spans, and a pre-bound latency
+        # histogram. All default off; dispatch keeps a fast path.
+        self.tracer = None
+        self.clock = None
+        self._latency = None
+
+    def attach_metrics(self, registry) -> None:
+        """Bind dispatch counters and per-method handler latency."""
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(self.counters, "rpc_server")
+        self._latency = registry.histogram(
+            "rpc_server_latency_ns",
+            "Simulated server-side handler time per method.",
+            labels=("method",),
+        )
 
     @property
     def host(self) -> str:
@@ -85,22 +102,62 @@ class RpcServer:
     def service_names(self) -> list[str]:
         return sorted(self._services)
 
-    def dispatch_wire(self, service: str, method: str, request_wire: bytes) -> tuple[StatusCode, bytes, str]:
+    def dispatch_wire(
+        self,
+        service: str,
+        method: str,
+        request_wire: bytes,
+        correlation_id: str | None = None,
+    ) -> tuple[StatusCode, bytes, str]:
         """Decode, dispatch, encode. Returns (status, response_wire, detail).
 
         This is the seam channels call: request and response both cross it
-        as real serialized bytes.
+        as real serialized bytes. ``correlation_id`` models gRPC call
+        metadata — the caller's request id rides alongside the payload so
+        server-side spans correlate with the originating client operation.
         """
         try:
             request = decode_message(request_wire)
         except RpcError as exc:
             return StatusCode.INVALID_ARGUMENT, b"", str(exc)
-        status, response, detail = self.dispatch(service, method, request)
+        if self.tracer is None and self._latency is None:
+            status, response, detail = self.dispatch(service, method, request)
+        else:
+            status, response, detail = self._dispatch_observed(
+                service, method, request, correlation_id
+            )
         try:
             wire = encode_message(response) if response is not None else encode_message({})
         except RpcError as exc:  # handler returned something unserialisable
             return StatusCode.INTERNAL, b"", f"unserialisable response: {exc}"
         return status, wire, detail
+
+    def _dispatch_observed(
+        self,
+        service: str,
+        method: str,
+        request: dict,
+        correlation_id: str | None,
+    ) -> tuple[StatusCode, dict | None, str]:
+        """Dispatch wrapped in a server-side span and handler-latency
+        observation. Lives outside :meth:`dispatch` so subclasses and test
+        fakes overriding ``dispatch`` keep the plain 3-argument seam."""
+        start_ns = self.clock.now_ns if self.clock is not None else 0
+        try:
+            if self.tracer is not None:
+                args = {}
+                if correlation_id is not None:
+                    args["rid"] = correlation_id
+                with self.tracer.span(
+                    "rpc.server", f"{service}.{method}", track=self._host, **args
+                ):
+                    return self.dispatch(service, method, request)
+            return self.dispatch(service, method, request)
+        finally:
+            if self._latency is not None and self.clock is not None:
+                self._latency.labels(method=f"{service}.{method}").observe(
+                    self.clock.now_ns - start_ns
+                )
 
     def dispatch(self, service: str, method: str, request: dict) -> tuple[StatusCode, dict | None, str]:
         """Dispatch a decoded request; maps handler exceptions to statuses."""

@@ -101,6 +101,11 @@ class Scrubber:
             details.append(f"{oid!r}: repaired from replica")
             re_replicated += self._top_up_replicas(oid, details)
         store.counters.inc("scrub_passes")
+        store.counters.inc("scrub_scanned", scanned)
+        store.counters.inc("scrub_corrupted", corrupted)
+        store.counters.inc("scrub_repaired", repaired)
+        store.counters.inc("scrub_quarantined", quarantined)
+        store.counters.inc("scrub_re_replicated", re_replicated)
         return ScrubReport(
             scanned=scanned,
             ok=ok,

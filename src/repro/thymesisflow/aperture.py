@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ApertureError
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.thymesisflow.endpoint import ThymesisEndpoint
 from repro.thymesisflow.link import OpenCapiLink
 
@@ -111,7 +111,7 @@ class RemoteRegion:
     def __init__(self, aperture: Aperture, reader: ThymesisEndpoint):
         self._ap = aperture
         self._reader = reader
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     @property
     def home_name(self) -> str:

@@ -18,7 +18,7 @@ from repro.common.clock import NS_PER_S, SimClock
 from repro.common.config import LocalMemoryConfig
 from repro.common.errors import FabricError
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.memory.cache import CacheModel
 from repro.memory.host import HostMemory, MemoryRegion
 
@@ -43,7 +43,7 @@ class ThymesisEndpoint:
         self._exposed: MemoryRegion | None = None
         self._read_ns_per_byte = NS_PER_S / config.read_bandwidth_bps
         self._write_ns_per_byte = NS_PER_S / config.write_bandwidth_bps
-        self.counters = Counter()
+        self.counters = CounterGroup()
 
     # -- identity / structure ---------------------------------------------------
 

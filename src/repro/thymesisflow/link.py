@@ -17,7 +17,7 @@ from repro.common.clock import SimClock
 from repro.common.config import FabricLinkConfig
 from repro.common.errors import LinkPartitionedError
 from repro.common.rng import DeterministicRng
-from repro.common.stats import Counter
+from repro.obs.metrics import CounterGroup
 from repro.network.model import TransferModel
 
 
@@ -53,7 +53,7 @@ class OpenCapiLink:
             rng=link_rng,
         )
         self._single_rng = link_rng
-        self.counters = Counter()
+        self.counters = CounterGroup()
         # Fault-injection state (driven by repro.chaos.ChaosRuntime). A
         # healthy link has factors of 1.0 and pays nothing extra; the
         # happy-path cost model and its RNG draw sequence are untouched.
@@ -61,10 +61,37 @@ class OpenCapiLink:
         self._partitioned = False
         self._bandwidth_factor = 1.0
         self._latency_factor = 1.0
+        # Opt-in observability, set by the cluster builder.
+        self.tracer = None
+        self.correlation = None
+        self._m_read = None
+        self._m_write = None
 
     @property
     def config(self) -> FabricLinkConfig:
         return self._config
+
+    @property
+    def link_name(self) -> str:
+        return f"{self._node_a}<->{self._node_b}"
+
+    def attach_metrics(self, registry) -> None:
+        """Bind byte/op counters and per-transfer latency histograms."""
+        if not getattr(registry, "enabled", True):
+            return
+        registry.register_group(
+            self.counters, "thymesisflow_link", link=self.link_name
+        )
+        self._m_read = registry.histogram(
+            "thymesisflow_read_latency_ns",
+            "Simulated per-transfer fabric streaming-read latency.",
+            labels=("link",),
+        ).labels(link=self.link_name)
+        self._m_write = registry.histogram(
+            "thymesisflow_write_latency_ns",
+            "Simulated per-transfer fabric streaming-write latency.",
+            labels=("link",),
+        ).labels(link=self.link_name)
 
     @property
     def endpoints(self) -> frozenset[str]:
@@ -112,6 +139,20 @@ class OpenCapiLink:
 
     def charge_stream_read(self, nbytes: int) -> float:
         """Bulk remote read of *nbytes*; returns charged ns."""
+        if self.tracer is not None:
+            args = {"bytes": nbytes}
+            rid = self.correlation.current if self.correlation else None
+            if rid is not None:
+                args["rid"] = rid
+            with self.tracer.span("fabric", "read", track=self.link_name, **args):
+                cost = self._charge_stream_read(nbytes)
+        else:
+            cost = self._charge_stream_read(nbytes)
+        if self._m_read is not None:
+            self._m_read.observe(cost)
+        return cost
+
+    def _charge_stream_read(self, nbytes: int) -> float:
         self._gate()
         cost = 0.0
         remaining = nbytes
@@ -127,6 +168,20 @@ class OpenCapiLink:
         return cost
 
     def charge_stream_write(self, nbytes: int) -> float:
+        if self.tracer is not None:
+            args = {"bytes": nbytes}
+            rid = self.correlation.current if self.correlation else None
+            if rid is not None:
+                args["rid"] = rid
+            with self.tracer.span("fabric", "write", track=self.link_name, **args):
+                cost = self._charge_stream_write(nbytes)
+        else:
+            cost = self._charge_stream_write(nbytes)
+        if self._m_write is not None:
+            self._m_write.observe(cost)
+        return cost
+
+    def _charge_stream_write(self, nbytes: int) -> float:
         self._gate()
         cost = 0.0
         remaining = nbytes

@@ -101,6 +101,38 @@ class TestSummaryAndExport:
         loaded = json.loads(path.read_text())
         assert loaded["traceEvents"]
 
+    def test_write_chrome_trace_accepts_pathlib_and_str(self, setup, tmp_path):
+        clock, tracer = setup
+        with tracer.span("c", "n"):
+            clock.advance(1)
+        as_path = tmp_path / "as_path.json"
+        tracer.write_chrome_trace(as_path)  # pathlib.Path
+        tracer.write_chrome_trace(str(tmp_path / "as_str.json"))
+        for name in ("as_path.json", "as_str.json"):
+            assert json.loads((tmp_path / name).read_text())["traceEvents"]
+
+    def test_summary_reports_dropped_events(self):
+        clock = SimClock()
+        tracer = Tracer(clock, max_events=2, ring=True)
+        for _ in range(5):
+            tracer.instant("x", "y")
+        assert tracer.dropped == 3
+        summary = tracer.summary()
+        assert summary[("tracer", "dropped")] == {"count": 3, "total_ns": 0}
+        assert "dropped" in tracer.format_summary()
+
+    def test_summary_reports_dropped_in_bounded_mode_too(self):
+        clock = SimClock()
+        tracer = Tracer(clock, max_events=2)  # non-ring overflow
+        for _ in range(5):
+            tracer.instant("x", "y")
+        assert tracer.summary()[("tracer", "dropped")]["count"] == 3
+
+    def test_summary_has_no_dropped_row_when_nothing_dropped(self, setup):
+        clock, tracer = setup
+        tracer.instant("x", "y")
+        assert ("tracer", "dropped") not in tracer.summary()
+
 
 class TestClusterIntegration:
     def test_remote_get_produces_rpc_and_store_spans(self, small_config):

@@ -1,0 +1,47 @@
+"""Seeded chaos runs must surface resilience events in the metrics scrape:
+breaker-open and deadline-exceeded counts appear in the telemetry excerpt
+that `python -m repro chaos` prints."""
+
+import re
+
+from repro.cli import main
+
+# Seed 11's random fault plan (3 nodes, 10 objects, 2 replicas) crashes
+# enough peers to open breakers and blow RPC deadlines — verified stable
+# because the whole run lives on the simulated clock.
+ARGS = ["chaos", "--nodes", "3", "--seed", "11", "--objects", "10",
+        "--replicas", "2"]
+
+
+class TestChaosTelemetry:
+    def test_breaker_and_deadline_counts_in_scrape(self, capsys):
+        assert main(list(ARGS)) == 0
+        out = capsys.readouterr().out
+        assert "telemetry (metrics scrape excerpts):" in out
+
+        opens = re.findall(r"repro_rpc_breaker_opens\{[^}]*\} (\d+)", out)
+        assert opens, "no breaker-open series in the scrape excerpt"
+        assert any(int(v) > 0 for v in opens)
+
+        deadlines = re.findall(
+            r"repro_rpc_client_deadline_exceeded\{[^}]*\} (\d+)", out
+        )
+        assert deadlines, "no deadline-exceeded series in the scrape excerpt"
+        assert any(int(v) > 0 for v in deadlines)
+
+    def test_telemetry_lines_carry_node_and_peer_labels(self, capsys):
+        assert main(list(ARGS)) == 0
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines()
+            if l.strip().startswith("repro_rpc_breaker_opens")
+        )
+        assert 'node="' in line and 'peer="' in line
+
+    def test_replay_is_deterministic_including_telemetry(self, capsys):
+        """The chaos command replays itself and diffs everything it printed
+        — including the telemetry excerpt — so a nondeterministic metric
+        would flip this line to 'no' and exit nonzero."""
+        assert main(list(ARGS)) == 0
+        out = capsys.readouterr().out
+        assert "replay with same seed identical: yes" in out

@@ -65,6 +65,7 @@ class TestSubpackageDocs:
             "repro.thymesisflow",
             "repro.plasma",
             "repro.chaos",
+            "repro.obs",
             "repro.core",
             "repro.baseline",
             "repro.columnar",
