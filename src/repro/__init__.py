@@ -32,6 +32,7 @@ from repro.common.config import (
     IpcConfig,
     LanConfig,
     LocalMemoryConfig,
+    PlacementConfig,
     RpcConfig,
     StoreConfig,
 )
@@ -44,8 +45,17 @@ from repro.common.errors import (
     ObjectStoreError,
     ObjectUnavailableError,
     OutOfMemoryError,
+    PlacementError,
     ReproError,
     StaleDescriptorError,
+)
+from repro.placement import (
+    HashRing,
+    Membership,
+    MigrationEngine,
+    NodeStatus,
+    Rebalancer,
+    TopologyView,
 )
 from repro.obs import CorrelationContext, MetricsRegistry, Telemetry
 from repro.core import Cluster, DisaggregatedClient, DisaggregatedStore
@@ -75,6 +85,7 @@ __all__ = [
     "LanConfig",
     "HealthConfig",
     "ChaosConfig",
+    "PlacementConfig",
     "FaultPlan",
     "MetricsRegistry",
     "Telemetry",
@@ -88,6 +99,13 @@ __all__ = [
     "IntegrityError",
     "StaleDescriptorError",
     "ObjectCorruptedError",
+    "PlacementError",
+    "NodeStatus",
+    "TopologyView",
+    "Membership",
+    "HashRing",
+    "MigrationEngine",
+    "Rebalancer",
     "Scrubber",
     "ScrubReport",
     "put_array",

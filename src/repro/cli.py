@@ -20,6 +20,10 @@ Commands:
   the store by scanning sealed-object headers, then scrub-repair the
   corrupted object from a replica. Runs twice and verifies the replay is
   identical.
+* ``topology`` — elastic-placement demo: build a placement-enabled
+  cluster, route a batch of creates through the consistent-hash ring, and
+  print the ring layout (ownership shares, vnodes, utilization, epoch);
+  optionally drain a node and rebalance first.
 """
 
 from __future__ import annotations
@@ -458,6 +462,62 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if deterministic and intact else 1
 
 
+def _cmd_topology(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import Cluster
+
+    if args.nodes < 2:
+        print("topology demo needs at least 2 nodes", file=sys.stderr)
+        return 2
+    names = [f"node{i}" for i in range(args.nodes)]
+    cluster = Cluster(
+        ClusterConfig(seed=args.seed), node_names=names, placement=True
+    )
+    client = cluster.client("node0")
+    payload_size = args.size_kb * 1024
+    ids = cluster.new_object_ids(args.objects)
+    client.put_batch([(oid, bytes(payload_size)) for oid in ids])
+
+    drained = None
+    if args.drain:
+        if args.drain not in names:
+            print(f"unknown node {args.drain!r}; have {names}", file=sys.stderr)
+            return 2
+        cluster.drain_node(args.drain)
+        report = cluster.rebalancer.run_until_converged()
+        drained = {"node": args.drain, "rebalance": report.describe()}
+
+    snap = cluster.topology_snapshot()
+    if args.json:
+        if drained is not None:
+            snap["drained"] = drained
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"topology @ epoch {snap['epoch']} — {len(snap['nodes'])} member(s), "
+        f"ring imbalance {snap['imbalance']:.3f}, "
+        f"misplaced {snap['misplaced_bytes']} B"
+    )
+    header = (
+        f"{'node':<10} {'status':<10} {'weight':>6} {'vnodes':>6} "
+        f"{'share':>7} {'util':>6} {'objects':>8} {'used':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, info in sorted(snap["nodes"].items()):
+        print(
+            f"{name:<10} {info['status']:<10} {info['weight']:>6.2f} "
+            f"{info['vnodes']:>6d} {info['ownership_share']:>6.1%} "
+            f"{info['utilization']:>5.1%} {info['objects']:>8d} "
+            f"{info['used_bytes']:>10d} B"
+        )
+    if drained is not None:
+        print(f"drained {drained['node']}: {drained['rebalance']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,6 +587,21 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--replicas", type=int, default=2,
                          help="copies per object (>= 2 so repair has a source)")
 
+    topology = sub.add_parser(
+        "topology",
+        help="placement demo: ring layout, ownership shares, utilization "
+             "and the current epoch on an elastic cluster",
+    )
+    topology.add_argument("--nodes", type=int, default=4)
+    topology.add_argument("--seed", type=int, default=7,
+                          help="cluster seed (same seed = same layout)")
+    topology.add_argument("--objects", type=int, default=64)
+    topology.add_argument("--size-kb", type=int, default=64)
+    topology.add_argument("--drain", metavar="NODE", default=None,
+                          help="drain NODE and rebalance before printing")
+    topology.add_argument("--json", action="store_true",
+                          help="print the snapshot as JSON")
+
     return parser
 
 
@@ -538,6 +613,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
     "recover": _cmd_recover,
+    "topology": _cmd_topology,
 }
 
 

@@ -26,7 +26,7 @@ from repro.common.errors import (
 )
 from repro.common.ids import ObjectID, UniqueIDGenerator
 from repro.common.rng import DeterministicRng, derive_seed
-from repro.common.stats import Counter, Distribution, RunningStats
+from repro.common.stats import Distribution, RunningStats
 from repro.common.units import (
     KiB,
     MiB,
@@ -64,7 +64,6 @@ __all__ = [
     "UniqueIDGenerator",
     "DeterministicRng",
     "derive_seed",
-    "Counter",
     "Distribution",
     "RunningStats",
     "KiB",

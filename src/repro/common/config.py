@@ -228,6 +228,38 @@ class ChaosConfig:
 
 
 @dataclass(frozen=True)
+class PlacementConfig:
+    """Elastic placement (repro.placement): ring shape and rebalance pacing."""
+
+    # Virtual ring points per unit of member weight. More points = smoother
+    # ownership shares at the cost of a larger (still tiny) ring.
+    vnodes: int = 64
+    # Allocator utilization above which a member's ring weight is derated
+    # (capacity awareness); below it utilization does not move the ring, so
+    # rebalancing cannot oscillate.
+    capacity_high_watermark: float = 0.85
+    # Floor of the capacity derate: even a full store keeps this fraction
+    # of its weight (it can still be a last-resort home).
+    min_capacity_factor: float = 0.05
+    # Rebalancer throttle: payload bytes migrated per tick, and the
+    # simulated time one tick stands for.
+    rebalance_bytes_per_tick: int = 8 * MiB
+    rebalance_tick_interval_ns: float = 1_000_000.0
+
+    def validate(self) -> None:
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if not 0.0 < self.capacity_high_watermark <= 1.0:
+            raise ValueError("capacity_high_watermark must be in (0, 1]")
+        if not 0.0 < self.min_capacity_factor <= 1.0:
+            raise ValueError("min_capacity_factor must be in (0, 1]")
+        if self.rebalance_bytes_per_tick <= 0:
+            raise ValueError("rebalance_bytes_per_tick must be positive")
+        if self.rebalance_tick_interval_ns < 0:
+            raise ValueError("rebalance_tick_interval_ns must be non-negative")
+
+
+@dataclass(frozen=True)
 class StoreConfig:
     """Plasma store behaviour knobs."""
 
@@ -279,6 +311,7 @@ class ClusterConfig:
     store: StoreConfig = field(default_factory=StoreConfig)
     health: HealthConfig = field(default_factory=HealthConfig)
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
     # Fraction of each node's store capacity carved out as the local
     # disaggregated region (paper: "a portion of local system memory is
     # marked as disaggregated").
@@ -316,6 +349,7 @@ class ClusterConfig:
             )
         self.health.validate()
         self.chaos.validate()
+        self.placement.validate()
         for bw_name, bw in (
             ("local read", self.local_memory.read_bandwidth_bps),
             ("local write", self.local_memory.write_bandwidth_bps),

@@ -80,6 +80,11 @@ class ObjectInUseError(ObjectStoreError):
     holds a reference to its buffer."""
 
 
+class PlacementError(ObjectStoreError):
+    """A placement/membership operation is invalid in the current topology
+    (unknown member, bad lifecycle transition, empty ring...)."""
+
+
 class IntegrityError(ObjectStoreError):
     """Base class for end-to-end data-integrity failures: the bytes a
     descriptor points at do not match what the descriptor promises."""

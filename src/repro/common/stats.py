@@ -9,7 +9,7 @@ streams; `Distribution` keeps raw samples for quantiles.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class RunningStats:
@@ -196,37 +196,3 @@ class DistributionSummary:
             f"IQR=[{self.q1 * scale:.3f}, {self.q3 * scale:.3f}]{u} "
             f"range=[{self.min * scale:.3f}, {self.max * scale:.3f}]{u}"
         )
-
-
-@dataclass
-class Counter:
-    """Deprecated: use :class:`repro.obs.metrics.CounterGroup`.
-
-    The original ad-hoc counter bag, kept only so external callers keep
-    working; every in-tree component now uses ``CounterGroup``, which has
-    the same interface plus registry binding for Prometheus export.
-    """
-
-    values: dict[str, int] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        import warnings
-
-        warnings.warn(
-            "repro.common.stats.Counter is deprecated; use "
-            "repro.obs.metrics.CounterGroup (same interface, exportable "
-            "via MetricsRegistry.register_group)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only increase")
-        self.values[name] = self.values.get(name, 0) + amount
-
-    def get(self, name: str) -> int:
-        return self.values.get(name, 0)
-
-    def snapshot(self) -> dict[str, int]:
-        return dict(self.values)

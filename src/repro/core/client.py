@@ -144,16 +144,21 @@ class DisaggregatedClient(PlasmaClient):
         """create + write + seal + release, optionally replicated.
 
         ``replicas=1`` (default) is the paper's single-copy mode. With
-        ``replicas=2`` (or more) the local store pushes copies to
+        ``replicas=2`` (or more) the home store pushes copies to
         deterministically chosen peers after sealing, so the object stays
-        readable — via lookup failover — when this node's store process
-        dies. Replication degrades gracefully: an unavailable replica
-        target is skipped, never failing the write.
+        readable — via lookup failover — when the home store process dies.
+        Replication degrades gracefully: an unavailable replica target is
+        skipped, never failing the write.
+
+        With elastic placement enabled, the consistent-hash ring decides
+        where the object lives: a ring home other than this node receives
+        the object via the forwarded-create protocol (metadata over RPC,
+        payload over the fabric). An unreachable home degrades to a local
+        create — the rebalancer re-homes the object once the cluster heals.
         """
         self._check_replicas(replicas)
         if self._correlation is None:
-            super().put_bytes(object_id, data, metadata)
-            self._replicate(object_id, replicas)
+            self._put_routed(object_id, data, metadata, replicas)
             return object_id
         rid = self._correlation.begin()
         try:
@@ -162,14 +167,29 @@ class DisaggregatedClient(PlasmaClient):
                 with tracer.span(
                     "client", "put", track=self._name, rid=rid, replicas=replicas
                 ):
-                    super().put_bytes(object_id, data, metadata)
-                    self._replicate(object_id, replicas)
+                    self._put_routed(object_id, data, metadata, replicas)
             else:
-                super().put_bytes(object_id, data, metadata)
-                self._replicate(object_id, replicas)
+                self._put_routed(object_id, data, metadata, replicas)
         finally:
             self._correlation.end()
         return object_id
+
+    def _put_routed(
+        self, object_id: ObjectID, data, metadata: bytes, replicas: int
+    ) -> None:
+        """Placement-aware create: forward to the ring home when it is a
+        reachable peer, else the classic local create + replicate path."""
+        home = self.store.placement_home(object_id)
+        if home is not None:
+            self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+            if self.store.forward_put(
+                object_id, data, metadata, home, replicas=replicas
+            ):
+                self.counters.inc("puts_forwarded")
+                return
+            self.counters.inc("puts_forward_fallback")
+        super().put_bytes(object_id, data, metadata)
+        self._replicate(object_id, replicas)
 
     def _check_replicas(self, replicas: int) -> None:
         if replicas < 1:
@@ -203,6 +223,16 @@ class DisaggregatedClient(PlasmaClient):
             mv = memoryview(data)
             if mv.ndim != 1 or mv.itemsize != 1:
                 mv = mv.cast("B")
+            home = self.store.placement_home(oid)
+            if home is not None:
+                self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+                if self.store.forward_put(
+                    oid, mv, metadata, home, replicas=replicas
+                ):
+                    self.counters.inc("puts_forwarded")
+                    out.append(oid)
+                    continue
+                self.counters.inc("puts_forward_fallback")
             self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
             entry = self._store.create_object_unchecked(oid, len(mv), metadata)
             self._store.add_ref(oid)

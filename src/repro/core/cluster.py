@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.chaos import ChaosRuntime, FaultPlan
 from repro.common.clock import SimClock
 from repro.common.config import ClusterConfig
-from repro.common.errors import ObjectStoreError
+from repro.common.errors import ObjectStoreError, PlacementError, RpcStatusError
 from repro.common.ids import UniqueIDGenerator
 from repro.common.rng import DeterministicRng
 from repro.core.client import DisaggregatedClient
@@ -35,8 +35,13 @@ from repro.network.ipc import IpcChannel
 from repro.obs.correlation import CorrelationContext
 from repro.obs.export import Telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.placement.membership import Membership, NodeStatus, TopologyView
+from repro.placement.migrate import MigrationEngine
+from repro.placement.rebalance import Rebalancer
+from repro.placement.ring import HashRing
 from repro.rpc.channel import Channel
 from repro.rpc.server import RpcServer
+from repro.rpc.status import StatusCode
 from repro.thymesisflow.fabric import ThymesisFabric
 
 _DIRECTORY_ALIGN = 4096
@@ -76,6 +81,7 @@ class Cluster:
         tracer=None,
         fault_plan: FaultPlan | None = None,
         metrics: bool = False,
+        placement: bool = False,
     ):
         self._config = config or ClusterConfig()
         self._config.validate()
@@ -112,6 +118,16 @@ class Cluster:
         # with dmsg rings for feedback RPCs — so it needs both layouts.
         use_directory = sharing in ("hashmap", "hybrid")
         use_dmsg = sharing in ("dmsg", "hybrid")
+        if placement and sharing != "rpc":
+            # dmsg mailboxes and the hash directory are sized at build time
+            # for a fixed node count; elastic membership needs the sharing
+            # mode whose per-pair state can grow and shrink.
+            raise ValueError(
+                "placement=True requires sharing='rpc' (dmsg rings and the "
+                "hash directory are statically sized per node count)"
+            )
+        self._use_directory = use_directory
+        self._use_dmsg = use_dmsg
         dir_size = 0
         if use_directory:
             dir_size = -(-directory_bytes(directory_buckets) // _DIRECTORY_ALIGN)
@@ -133,10 +149,11 @@ class Cluster:
         )
         store_base = dir_size + mailbox_size
         exposed_size = store_base + store_capacity
-        # Kept for recover_node(): a restarted store is rebuilt with the
-        # exact construction parameters of the original.
+        # Kept for recover_node() and add_node(): restarted/joining stores
+        # are built with the exact construction parameters of the seed set.
         self._store_base = store_base
         self._store_capacity = store_capacity
+        self._exposed_size = exposed_size
         self._directory_buckets = directory_buckets
         self._store_kwargs = dict(
             check_remote_uniqueness=check_remote_uniqueness,
@@ -149,44 +166,7 @@ class Cluster:
 
         # Phase 1: nodes, endpoints, exposed regions, stores, servers.
         for name in node_names:
-            endpoint = self._fabric.add_node(name, exposed_size)
-            exposed = endpoint.expose(0, exposed_size)
-            store_region = exposed.subregion(store_base, store_capacity)
-            store = DisaggregatedStore(
-                name,
-                endpoint,
-                store_region,
-                self._config.store,
-                self._clock,
-                check_remote_uniqueness=check_remote_uniqueness,
-                share_usage=share_usage,
-                enable_lookup_cache=enable_lookup_cache,
-                notify_deletions=enable_lookup_cache,
-                sharing=sharing,
-                region_offset_in_exposed=store_base,
-            )
-            directory = None
-            if use_directory:
-                directory = DisaggregatedHashMap(
-                    exposed.subregion(0, directory_bytes(directory_buckets)),
-                    directory_buckets,
-                )
-                store.attach_directory(directory)
-            store.tracer = tracer
-            store.correlation = self._correlation
-            server = RpcServer(name)
-            server.tracer = tracer
-            server.clock = self._clock
-            server.add_service(StoreService(store))
-            ipc = IpcChannel(
-                self._clock, self._config.ipc, self._rng.spawn("ipc", name)
-            )
-            if self._chaos is not None:
-                self._chaos.attach_server(name, server)
-                self._chaos.attach_region(name, exposed)
-            self._nodes[name] = ClusterNode(
-                name=name, store=store, server=server, ipc=ipc, directory=directory
-            )
+            self._build_node(name)
 
         # Phase 2: full-mesh links and apertures (every node maps every
         # other node's exposed region).
@@ -208,42 +188,8 @@ class Cluster:
         # Phase 3: metadata channels (gRPC-model or dmsg rings) and peers.
         for reader_name in node_names:
             for home_name in node_names:
-                if reader_name == home_name:
-                    continue
-                reader = self._nodes[reader_name]
-                home = self._nodes[home_name]
-                if use_dmsg:
-                    channel = self._make_dmsg_channel(reader_name, home_name)
-                else:
-                    channel = Channel(
-                        reader_name,
-                        home.server,
-                        self._clock,
-                        self._config.rpc,
-                        self._rng,
-                        tracer=self._tracer,
-                        breaker=CircuitBreaker(
-                            self._clock,
-                            self._config.health,
-                            name=f"{reader_name}->{home_name}",
-                        ),
-                        chaos=self._chaos,
-                        correlation=self._correlation,
-                    )
-                reader.channels[home_name] = channel
-                remote_region = self._remote_regions[(reader_name, home_name)]
-                reader.store.connect_peer(
-                    PeerHandle(
-                        name=home_name,
-                        stub=channel.stub(StoreService.SERVICE_NAME),
-                        remote_region=remote_region,
-                    )
-                )
-                if use_directory:
-                    reader.store.attach_hashmap_reader(
-                        home_name,
-                        RemoteHashMapReader(remote_region, 0, directory_buckets),
-                    )
+                if reader_name != home_name:
+                    self._link_pair(reader_name, home_name)
 
         # Phase 4: health monitors (heartbeat failure detection) over the
         # per-pair channels. Dmsg rings have no breaker/deadline machinery,
@@ -259,7 +205,28 @@ class Cluster:
                     )
                 node.monitor = monitor
 
-        # Phase 5: metrics plane (opt-in). One registry per node plus one
+        # Phase 5: elastic placement (opt-in). Membership starts with every
+        # seed node ACTIVE at weight 1.0; the epoch-1 view is installed on
+        # each store before any client routes a create.
+        self._membership: Membership | None = None
+        self._engine: MigrationEngine | None = None
+        self._rebalancer: Rebalancer | None = None
+        self._placement_ring: HashRing | None = None
+        if placement:
+            self._membership = Membership(node_names)
+            self._engine = MigrationEngine(self._clock, tracer=tracer)
+            pcfg = self._config.placement
+            self._rebalancer = Rebalancer(
+                self,
+                self._engine,
+                bytes_per_tick=pcfg.rebalance_bytes_per_tick,
+                tick_interval_ns=pcfg.rebalance_tick_interval_ns,
+            )
+            for node in self._nodes.values():
+                node.store.enable_placement(pcfg)
+            self._publish_topology()
+
+        # Phase 6: metrics plane (opt-in). One registry per node plus one
         # for the shared fabric; everything binds once, here, so hot paths
         # stay branch-on-None.
         self._registries: dict[str, MetricsRegistry] = {}
@@ -273,7 +240,90 @@ class Cluster:
                 self._attach_node_metrics(node, registry)
                 self._registries[name] = registry
             self._registries["fabric"] = fabric_registry
+            if self._membership is not None:
+                placement_registry = MetricsRegistry(node="placement")
+                self._engine.attach_metrics(placement_registry)
+                self._attach_placement_gauges(placement_registry)
+                self._registries["placement"] = placement_registry
             self._telemetry = Telemetry(self._registries)
+
+    def _build_node(self, name: str) -> ClusterNode:
+        """Construct one node's full stack (endpoint, exposed region, store,
+        RPC server, IPC channel) and register it. Used for the seed set at
+        build time and for every elastic :meth:`add_node` join."""
+        endpoint = self._fabric.add_node(name, self._exposed_size)
+        exposed = endpoint.expose(0, self._exposed_size)
+        store_region = exposed.subregion(self._store_base, self._store_capacity)
+        store = DisaggregatedStore(
+            name,
+            endpoint,
+            store_region,
+            self._config.store,
+            self._clock,
+            **self._store_kwargs,
+        )
+        directory = None
+        if self._use_directory:
+            directory = DisaggregatedHashMap(
+                exposed.subregion(0, directory_bytes(self._directory_buckets)),
+                self._directory_buckets,
+            )
+            store.attach_directory(directory)
+        store.tracer = self._tracer
+        store.correlation = self._correlation
+        server = RpcServer(name)
+        server.tracer = self._tracer
+        server.clock = self._clock
+        server.add_service(StoreService(store))
+        ipc = IpcChannel(
+            self._clock, self._config.ipc, self._rng.spawn("ipc", name)
+        )
+        if self._chaos is not None:
+            self._chaos.attach_server(name, server)
+            self._chaos.attach_region(name, exposed)
+        node = ClusterNode(
+            name=name, store=store, server=server, ipc=ipc, directory=directory
+        )
+        self._nodes[name] = node
+        return node
+
+    def _link_pair(self, reader_name: str, home_name: str) -> None:
+        """Wire the directed (reader -> home) metadata channel and peer
+        handle over the already-mapped aperture."""
+        reader = self._nodes[reader_name]
+        home = self._nodes[home_name]
+        if self._use_dmsg:
+            channel = self._make_dmsg_channel(reader_name, home_name)
+        else:
+            channel = Channel(
+                reader_name,
+                home.server,
+                self._clock,
+                self._config.rpc,
+                self._rng,
+                tracer=self._tracer,
+                breaker=CircuitBreaker(
+                    self._clock,
+                    self._config.health,
+                    name=f"{reader_name}->{home_name}",
+                ),
+                chaos=self._chaos,
+                correlation=self._correlation,
+            )
+        reader.channels[home_name] = channel
+        remote_region = self._remote_regions[(reader_name, home_name)]
+        reader.store.connect_peer(
+            PeerHandle(
+                name=home_name,
+                stub=channel.stub(StoreService.SERVICE_NAME),
+                remote_region=remote_region,
+            )
+        )
+        if self._use_directory:
+            reader.store.attach_hashmap_reader(
+                home_name,
+                RemoteHashMapReader(remote_region, 0, self._directory_buckets),
+            )
 
     def _attach_node_metrics(self, node: "ClusterNode", registry: MetricsRegistry) -> None:
         node.store.attach_metrics(registry)
@@ -413,6 +463,8 @@ class Cluster:
         for name, node in self._nodes.items():
             if node.monitor is not None:
                 out[name] = node.monitor.tick()
+        if self._membership is not None:
+            self._reconcile_membership()
         return out
 
     def monitor(self, name: str) -> HealthMonitor | None:
@@ -425,6 +477,301 @@ class Cluster:
             for name, node in self._nodes.items()
             if node.monitor is not None
         }
+
+    # -- elastic placement (repro.placement) --------------------------------------
+
+    @property
+    def placement_enabled(self) -> bool:
+        return self._membership is not None
+
+    @property
+    def membership(self) -> Membership:
+        """The authoritative membership record (requires ``placement=True``)."""
+        if self._membership is None:
+            raise ObjectStoreError(
+                "cluster was built without placement; pass Cluster(..., "
+                "placement=True) to enable elastic membership"
+            )
+        return self._membership
+
+    def placement_ring(self) -> HashRing:
+        """The ring built from the latest published view."""
+        self.membership  # raises when placement is off
+        assert self._placement_ring is not None
+        return self._placement_ring
+
+    @property
+    def rebalancer(self) -> Rebalancer:
+        self.membership
+        assert self._rebalancer is not None
+        return self._rebalancer
+
+    @property
+    def migration_engine(self) -> MigrationEngine:
+        self.membership
+        assert self._engine is not None
+        return self._engine
+
+    def _coordinator_name(self) -> str:
+        """Lowest-named live ACTIVE member; falls back to any live member
+        (e.g. every survivor is DRAINING during a scale-down)."""
+        view = self._membership.view()
+        for name in view.names():
+            if view.status(name) is NodeStatus.ACTIVE and name in self._nodes:
+                return name
+        for name in view.names():
+            if name in self._nodes:
+                return name
+        raise ObjectStoreError("no live member left to coordinate topology")
+
+    def _publish_topology(self) -> TopologyView:
+        """Snapshot utilization, rebuild the ring, install the view on the
+        coordinator and push it to every member over its channels.
+
+        Pushes to unreachable members are skipped — they install a stale
+        epoch guard anyway, and ``recover_node`` pulls the freshest view
+        from a live peer when they come back.
+        """
+        assert self._membership is not None
+        self._membership.update_utilization(
+            {
+                name: (
+                    node.store.used_bytes / node.store.capacity_bytes
+                    if node.store.capacity_bytes
+                    else 0.0
+                )
+                for name, node in self._nodes.items()
+            }
+        )
+        view = self._membership.view()
+        pcfg = self._config.placement
+        self._placement_ring = HashRing.from_view(
+            view,
+            vnodes=pcfg.vnodes,
+            high_watermark=pcfg.capacity_high_watermark,
+            min_capacity_factor=pcfg.min_capacity_factor,
+        )
+        coordinator = self._nodes[self._coordinator_name()]
+        coordinator.store.install_topology(view)
+        wire = view.to_wire()
+        for peer_name, channel in sorted(coordinator.channels.items()):
+            if peer_name not in view.members or peer_name not in self._nodes:
+                continue
+            try:
+                channel.stub(StoreService.SERVICE_NAME).UpdateTopology(wire)
+            except RpcStatusError as exc:
+                if exc.code in (
+                    StatusCode.UNAVAILABLE,
+                    StatusCode.DEADLINE_EXCEEDED,
+                ):
+                    continue
+                raise
+        return view
+
+    def _pull_topology(self, name: str) -> None:
+        """Install on *name* the freshest view a live peer holds (the
+        recovered store missed every push while it was down); the local
+        membership record is the fallback when nobody answers."""
+        node = self._nodes[name]
+        view: TopologyView | None = None
+        for peer_name, channel in sorted(node.channels.items()):
+            if peer_name not in self._nodes:
+                continue
+            try:
+                wire = channel.stub(StoreService.SERVICE_NAME).Topology({"from": name})
+            except RpcStatusError as exc:
+                if exc.code in (
+                    StatusCode.UNAVAILABLE,
+                    StatusCode.DEADLINE_EXCEEDED,
+                ):
+                    continue
+                raise
+            if int(wire.get("epoch", 0)) > 0:
+                candidate = TopologyView.from_wire(wire)
+                if view is None or candidate.epoch > view.epoch:
+                    view = candidate
+                break
+        if view is None:
+            view = self._membership.view()
+        node.store.install_topology(view)
+
+    def add_node(self, name: str, *, weight: float = 1.0) -> ClusterNode:
+        """Grow the mesh by one node: endpoint + store + server, fabric
+        links and apertures to every existing node, channels and peer
+        handles in both directions, health monitoring, metrics — then join
+        the membership and publish the bumped-epoch view so creates start
+        routing to it. Existing objects move only when the rebalancer (or a
+        manual migration) sends them."""
+        membership = self.membership
+        if name in self._nodes:
+            raise ValueError(f"cluster already has a node named {name!r}")
+        existing = sorted(self._nodes)
+        node = self._build_node(name)
+        for other in existing:
+            link = self._fabric.connect(name, other)
+            link.tracer = self._tracer
+            link.correlation = self._correlation
+            if self._chaos is not None:
+                self._chaos.attach_link(link)
+            if "fabric" in self._registries:
+                link.attach_metrics(self._registries["fabric"])
+        for other in existing:
+            self._remote_regions[(name, other)] = self._fabric.map_remote(name, other)
+            self._remote_regions[(other, name)] = self._fabric.map_remote(other, name)
+        for other in existing:
+            self._link_pair(name, other)
+            self._link_pair(other, name)
+        monitor = HealthMonitor(name, self._clock, self._config.health)
+        for peer_name, channel in sorted(node.channels.items()):
+            monitor.add_peer(
+                peer_name,
+                channel.stub(StoreService.SERVICE_NAME),
+                channel.breaker,
+            )
+        node.monitor = monitor
+        for other in existing:
+            other_node = self._nodes[other]
+            if other_node.monitor is not None:
+                channel = other_node.channels[name]
+                other_node.monitor.add_peer(
+                    name, channel.stub(StoreService.SERVICE_NAME), channel.breaker
+                )
+        if self._telemetry is not None:
+            registry = MetricsRegistry(node=name)
+            self._attach_node_metrics(node, registry)
+            self._registries[name] = registry
+            for other in existing:
+                other_registry = self._registries.get(other)
+                if other_registry is None:
+                    continue
+                self._nodes[other].channels[name].attach_metrics(other_registry)
+                other_registry.register_group(
+                    self._remote_regions[(other, name)].counters,
+                    "thymesisflow_aperture",
+                    home=name,
+                )
+            # Telemetry snapshots its registry dict at construction.
+            self._telemetry = Telemetry(self._registries)
+        node.store.enable_placement(self._config.placement)
+        membership.join(name, weight)
+        self._publish_topology()
+        return node
+
+    def drain_node(self, name: str) -> TopologyView:
+        """Mark *name* DRAINING and publish: new creates stop routing to it
+        while its objects stay readable in place. Run the rebalancer to
+        empty it, then :meth:`remove_node`."""
+        self.node(name)
+        self.membership.drain(name)
+        return self._publish_topology()
+
+    def remove_node(self, name: str, *, force: bool = False) -> None:
+        """Retire a drained (or dead) member and tear down its wiring.
+
+        Refuses while the node still holds sealed primaries unless *force*
+        (replicas it holds are expendable — other holders or the home copy
+        survive). The server is shut down so any straggler RPC to the
+        departed name fails UNAVAILABLE rather than resurrecting it.
+        """
+        membership = self.membership
+        node = self.node(name)
+        if membership.status(name) is NodeStatus.ACTIVE:
+            raise PlacementError(
+                f"node {name!r} is ACTIVE; drain_node() it and rebalance "
+                "before removing"
+            )
+        if not force:
+            with node.store.table.lock:
+                stranded = [
+                    entry.object_id
+                    for entry in node.store.table
+                    if entry.is_sealed
+                    and not node.store.is_replica(entry.object_id)
+                ]
+            if stranded:
+                raise PlacementError(
+                    f"node {name!r} still holds {len(stranded)} primary "
+                    "object(s); run the rebalancer to convergence or pass "
+                    "force=True to abandon them"
+                )
+        membership.remove(name)
+        del self._nodes[name]
+        node.server.shutdown()
+        for other in self._nodes.values():
+            other.channels.pop(name, None)
+            other.store.disconnect_peer(name)
+            if other.monitor is not None:
+                other.monitor.remove_peer(name)
+        for key in [k for k in self._remote_regions if name in k]:
+            del self._remote_regions[key]
+        if self._telemetry is not None:
+            self._registries.pop(name, None)
+            self._telemetry = Telemetry(self._registries)
+        self._publish_topology()
+
+    def _reconcile_membership(self) -> None:
+        """Fold the coordinator's failure-detector suspicions into the
+        membership: a suspected ACTIVE/DRAINING member goes DOWN and the
+        bumped view publishes, so the ring stops homing new objects there."""
+        coordinator = self._coordinator_name()
+        monitor = self._nodes[coordinator].monitor
+        if monitor is None:
+            return
+        suspects = [p for p in monitor.suspects() if p in self._nodes]
+        if suspects and self._membership.reconcile(suspects) is not None:
+            self._publish_topology()
+
+    def topology_snapshot(self) -> dict:
+        """Everything the ``repro topology`` CLI shows, as plain data."""
+        membership = self.membership
+        view = membership.view()
+        ring = self._placement_ring
+        shares = ring.ownership_share() if ring is not None else {}
+        nodes: dict[str, dict] = {}
+        for name in view.names():
+            info = view.members[name]
+            store = self._nodes[name].store if name in self._nodes else None
+            nodes[name] = {
+                "status": info.status.value,
+                "weight": info.weight,
+                "utilization": (
+                    store.used_bytes / store.capacity_bytes
+                    if store is not None and store.capacity_bytes
+                    else info.utilization
+                ),
+                "ownership_share": shares.get(name, 0.0),
+                "vnodes": ring.vnode_count(name) if ring is not None else 0,
+                "objects": store.object_count() if store is not None else 0,
+                "used_bytes": store.used_bytes if store is not None else 0,
+            }
+        return {
+            "epoch": view.epoch,
+            "imbalance": ring.imbalance() if ring is not None else 0.0,
+            "misplaced_bytes": self.rebalancer.misplaced_bytes(),
+            "nodes": nodes,
+        }
+
+    def _attach_placement_gauges(self, registry: MetricsRegistry) -> None:
+        registry.gauge(
+            "placement_epoch",
+            "Current topology epoch at the membership coordinator.",
+        ).labels().set_function(lambda: float(self._membership.epoch))
+        registry.gauge(
+            "placement_ring_imbalance",
+            "Max ownership share over the weight-fair share (1.0 = balanced).",
+        ).labels().set_function(
+            lambda: (
+                self._placement_ring.imbalance()
+                if self._placement_ring is not None
+                else 0.0
+            )
+        )
+        registry.gauge(
+            "placement_misplaced_bytes",
+            "Payload bytes whose ring home differs from their holder.",
+        ).labels().set_function(
+            lambda: float(self._rebalancer.misplaced_bytes())
+        )
 
     def recover_node(self, name: str):
         """Restart a crashed node's store process and recover its objects
@@ -487,6 +834,16 @@ class Cluster:
             # Re-binding replaces the dead store's group/gauge bindings;
             # latency histograms keep accumulating across the restart.
             store.attach_metrics(self._registries[name])
+        if self._membership is not None:
+            store.enable_placement(self._config.placement)
+            if self._membership.status(name) is NodeStatus.DOWN:
+                # Rejoin first so the view the node catches up on already
+                # includes itself (the push from the coordinator may still
+                # be fail-fasting on an open breaker; the pull below is the
+                # reliable path).
+                self._membership.reactivate(name)
+                self._publish_topology()
+            self._pull_topology(name)
         return report
 
     def node_names(self) -> list[str]:

@@ -156,6 +156,7 @@ class HealthMonitor:
         self._clock = clock
         self._config = config
         self._peers: dict[str, PeerHealth] = {}
+        self._registry = None
         self.counters = CounterGroup()
 
     @property
@@ -163,25 +164,36 @@ class HealthMonitor:
         return self._node
 
     def attach_metrics(self, registry) -> None:
-        """Bind heartbeat counters and per-peer suspicion gauges. Call
-        after the peer set is wired (gauges are created per known peer)."""
+        """Bind heartbeat counters and per-peer suspicion gauges. Peers
+        added later (elastic join) get their gauge on :meth:`add_peer`."""
         if not getattr(registry, "enabled", True):
             return
+        self._registry = registry
         registry.register_group(self.counters, "health")
-        suspect = registry.gauge(
+        for name in self.peers():
+            self._register_suspect_gauge(name)
+
+    def _register_suspect_gauge(self, name: str) -> None:
+        suspect = self._registry.gauge(
             "health_peer_suspect",
             "1 while the peer is suspected dead (silent past timeout).",
             labels=("peer",),
         )
-        for name in self.peers():
-            suspect.labels(peer=name).set_function(
-                lambda n=name: 1.0 if self.is_suspect(n) else 0.0
-            )
+        suspect.labels(peer=name).set_function(
+            lambda n=name: 1.0 if self.is_suspect(n) else 0.0
+        )
 
     def add_peer(self, name: str, stub, breaker: CircuitBreaker) -> None:
         if name in self._peers:
             raise ValueError(f"{self._node} already monitors {name}")
         self._peers[name] = PeerHealth(name, stub, breaker)
+        if self._registry is not None:
+            self._register_suspect_gauge(name)
+
+    def remove_peer(self, name: str) -> None:
+        """Stop monitoring *name* (it left the cluster). Unknown names are
+        a no-op so teardown paths can call this unconditionally."""
+        self._peers.pop(name, None)
 
     def peer(self, name: str) -> PeerHealth:
         return self._peers[name]
@@ -231,9 +243,13 @@ class HealthMonitor:
         """True once the peer has gone silent past the suspicion timeout.
 
         A peer we never heard from is judged from the first probe we sent
-        it; a peer we never probed is given the benefit of the doubt.
+        it; a peer we never probed is given the benefit of the doubt. A
+        name no longer monitored (it left the cluster) is not suspect —
+        suspicion gauges registered for it keep reading 0.
         """
-        health = self._peers[name]
+        health = self._peers.get(name)
+        if health is None:
+            return False
         reference = (
             health.last_ack_ns
             if health.last_ack_ns is not None

@@ -153,6 +153,78 @@ class StoreService(Service):
         dropped = self._store.drop_replicas(object_ids)
         return {"dropped": dropped}
 
+    # -- elastic placement (repro.placement) ----------------------------------
+
+    @rpc_method
+    def Topology(self, request: dict) -> dict:
+        """The topology view this store holds (epoch 0 = none installed).
+        Recovering nodes pull this from a live peer to catch up on views
+        they missed while down."""
+        view = self._store.topology()
+        if view is None:
+            return {"epoch": 0, "members": []}
+        return view.to_wire()
+
+    @rpc_method
+    def UpdateTopology(self, request: dict) -> dict:
+        """Coordinator push of a new epoch-numbered topology view; stale
+        epochs are acknowledged but ignored (idempotent, re-orderable)."""
+        from repro.placement.membership import TopologyView
+
+        view = TopologyView.from_wire(request)
+        installed = self._store.install_topology(view)
+        return {"installed": installed, "epoch": self._store.topology_epoch}
+
+    @rpc_method
+    def PlacedCreate(self, request: dict) -> dict:
+        """Home side of a placement-routed create: allocate the extent
+        (header written unsealed) and return the exposed-region offset the
+        creator's fabric write streams the payload to."""
+        object_id = ObjectID(request["object_id"])
+        data_size = int(request["data_size"])
+        metadata = bytes(request.get("metadata", b""))
+        offset = self._store.placed_create(object_id, data_size, metadata)
+        return {"offset": offset, "store": self._store.name}
+
+    @rpc_method
+    def PlacedSeal(self, request: dict) -> dict:
+        """Make a placement-routed object visible: invalidate the stale
+        cached lines the remote write left (Fig 3b), checksum, seal, and
+        run home-driven replication if requested."""
+        object_id = ObjectID(request["object_id"])
+        replicas = int(request.get("replicas", 1))
+        self._store.placed_seal(object_id, replicas)
+        return {}
+
+    @rpc_method
+    def MigratePrepare(self, request: dict) -> dict:
+        """Destination side of a live migration: allocate + pull the payload
+        over the fabric, but do NOT seal — the copy stays invisible until
+        MigrateCommit, so a crash in between leaves only an unsealed extent
+        that restart recovery reclaims."""
+        source = request.get("source")
+        if not isinstance(source, str) or not source:
+            raise ValueError("MigratePrepare needs the source store's name")
+        object_id = ObjectID(request["object_id"])
+        holders = [str(h) for h in request.get("holders", [])]
+        state = self._store.begin_adopt(
+            source,
+            object_id,
+            int(request["offset"]),
+            int(request["data_size"]),
+            bytes(request.get("metadata", b"")),
+            holders=holders,
+        )
+        return {"state": state}
+
+    @rpc_method
+    def MigrateCommit(self, request: dict) -> dict:
+        """Second phase: seal the pulled copy, atomically publishing the
+        new-generation descriptor."""
+        object_id = ObjectID(request["object_id"])
+        generation = self._store.commit_adopt(object_id)
+        return {"generation": generation}
+
     @rpc_method
     def Stats(self, request: dict) -> dict:
         """Operational snapshot (used by examples and debugging, not by any

@@ -37,6 +37,8 @@ from repro.common.errors import (
 from repro.common.ids import ObjectID
 from repro.core.lookup_cache import LookupCache
 from repro.core.remote import PeerHandle, RemoteObjectRecord
+from repro.placement.membership import TopologyView
+from repro.placement.ring import HashRing
 from repro.memory.host import MemoryRegion
 from repro.plasma.buffer import (
     PlasmaBuffer,
@@ -106,6 +108,14 @@ class DisaggregatedStore(PlasmaStore):
         # (replica side).
         self._replicated_to: dict[ObjectID, tuple[str, ...]] = {}
         self._replicas_of: dict[ObjectID, str] = {}
+        # Elastic placement (repro.placement): the installed topology view,
+        # the ring derived from it, and migration book-keeping. All None /
+        # empty until the cluster enables placement.
+        self._placement_cfg = None
+        self._topology: TopologyView | None = None
+        self._ring: HashRing | None = None
+        self._pending_adoptions: set[ObjectID] = set()
+        self._deferred_retires: set[ObjectID] = set()
         self._m_get = None
 
     # -- observability -----------------------------------------------------------
@@ -145,6 +155,25 @@ class DisaggregatedStore(PlasmaStore):
             raise ObjectStoreError(f"{self._name} already peers with {handle.name}")
         self._peers[handle.name] = handle
 
+    def disconnect_peer(self, name: str) -> None:
+        """Remove *name* from the metadata plane (it left the cluster).
+
+        Cached descriptors homed there are purged in one pass; remote
+        records without live references are dropped. Records still held by
+        readers release locally — there is no peer left to un-pin at."""
+        self._peers.pop(name, None)
+        self._readers.pop(name, None)
+        if self._lookup_cache is not None:
+            self._lookup_cache.invalidate_node(name)
+        stale = [
+            oid
+            for oid, record in self._remote_records.items()
+            if record.home == name and record.local_refs == 0
+        ]
+        for oid in stale:
+            del self._remote_records[oid]
+        self.counters.inc("peers_disconnected")
+
     def peers(self) -> list[str]:
         return sorted(self._peers)
 
@@ -180,6 +209,283 @@ class DisaggregatedStore(PlasmaStore):
     @property
     def directory(self):
         return self._directory
+
+    # -- elastic placement (repro.placement) ------------------------------------
+
+    def enable_placement(self, placement_cfg) -> None:
+        """Arm the placement plane; the cluster installs topology views
+        (locally for the coordinator, via UpdateTopology RPCs for peers)."""
+        self._placement_cfg = placement_cfg
+
+    @property
+    def placement_enabled(self) -> bool:
+        return self._placement_cfg is not None
+
+    def topology(self) -> TopologyView | None:
+        return self._topology
+
+    @property
+    def topology_epoch(self) -> int:
+        return self._topology.epoch if self._topology is not None else 0
+
+    def placement_ring(self) -> HashRing | None:
+        return self._ring
+
+    def install_topology(self, view: TopologyView) -> bool:
+        """Adopt *view* iff its epoch is newer than what we hold (replayed
+        or re-ordered pushes are no-ops), rebuild the placement ring, and
+        epoch-stamp the lookup cache so descriptors learned under the old
+        topology are re-looked-up instead of trusted."""
+        if self._placement_cfg is None:
+            raise ObjectStoreError(
+                f"{self._name} was not built with placement enabled"
+            )
+        if self._topology is not None and view.epoch <= self._topology.epoch:
+            self.counters.inc("topology_stale_updates")
+            return False
+        self._topology = view
+        cfg = self._placement_cfg
+        self._ring = HashRing.from_view(
+            view,
+            vnodes=cfg.vnodes,
+            high_watermark=cfg.capacity_high_watermark,
+            min_capacity_factor=cfg.min_capacity_factor,
+        )
+        if self._lookup_cache is not None:
+            self._lookup_cache.set_epoch(view.epoch)
+        self.counters.inc("topology_installs")
+        return True
+
+    def placement_home(self, object_id: ObjectID) -> str | None:
+        """Where a *new* object with this id belongs, or None for "create
+        locally" (placement off, we are the home, or the home is not a
+        connected peer)."""
+        if self._ring is None:
+            return None
+        home = self._ring.home(object_id)
+        if home == self._name or home not in self._peers:
+            return None
+        return home
+
+    def forward_put(
+        self,
+        object_id: ObjectID,
+        data,
+        metadata: bytes,
+        home: str,
+        *,
+        replicas: int = 1,
+    ) -> bool:
+        """Create a new object at its ring *home* instead of locally.
+
+        PlacedCreate allocates the extent at the home (header unsealed);
+        the payload streams over the ThymesisFlow fabric as a remote write
+        into the home's exposed region (Fig 3b — bulk bytes never touch the
+        LAN); PlacedSeal makes the home flush its stale cached lines and
+        seal. Returns False when the home's metadata plane is unreachable —
+        the caller degrades to a local create and the rebalancer re-homes
+        the object later."""
+        handle = self.peer(home)
+        mv = memoryview(data)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        try:
+            response = handle.stub.PlacedCreate(
+                {
+                    "object_id": object_id.binary(),
+                    "data_size": len(mv),
+                    "metadata": bytes(metadata),
+                }
+            )
+        except RpcStatusError as exc:
+            if exc.code is StatusCode.ALREADY_EXISTS:
+                raise ObjectExistsError(
+                    f"{object_id!r} already exists in home store {home}"
+                ) from exc
+            if self._peer_unavailable(home, exc):
+                self.counters.inc("placed_creates_fallback")
+                return False
+            raise
+        offset = int(response["offset"])
+        handle.remote_region.write(offset, mv)
+        try:
+            handle.stub.PlacedSeal(
+                {"object_id": object_id.binary(), "replicas": int(replicas)}
+            )
+        except RpcStatusError as exc:
+            if self._peer_unavailable(home, exc):
+                # The home died holding the unsealed extent (its restart
+                # recovery reclaims it), but the id is burned there — do
+                # NOT create locally; surface the outage instead.
+                raise ObjectUnavailableError(
+                    f"home store {home} became unreachable while sealing "
+                    f"{object_id!r}",
+                    unreachable_peers=(home,),
+                ) from exc
+            raise
+        self.counters.inc("placed_creates_forwarded")
+        self.counters.inc("placed_bytes_forwarded", len(mv))
+        return True
+
+    def placed_create(
+        self, object_id: ObjectID, data_size: int, metadata: bytes = b""
+    ) -> int:
+        """Home side of a placement-routed create: allocate (unsealed) and
+        return the exposed-region offset the creator streams payload to."""
+        entry = self.create_object_unchecked(object_id, data_size, metadata)
+        self.counters.inc("placed_creates_received")
+        return entry.payload_offset + self._exposed_offset
+
+    def placed_seal(self, object_id: ObjectID, replicas: int = 1) -> None:
+        """Seal a placement-routed object after the creator's fabric write.
+
+        The remote write left this CPU's cached lines over the extent stale
+        (the Fig 3b staleness trap); ``invalidate_exposed`` models the
+        paper's hypothetical kernel-module fix, so the seal-time CRC reads
+        the bytes the creator actually wrote."""
+        with self.table.lock:
+            entry = self.table.lookup(object_id)
+            if entry is None:
+                raise ObjectNotFoundError(
+                    f"{object_id!r} not found in {self._name}"
+                )
+            self.endpoint.invalidate_exposed(
+                entry.allocation.offset + self._exposed_offset,
+                entry.allocation.padded_size,
+            )
+        self.seal_object(object_id)
+        for _ in range(max(0, int(replicas) - 1)):
+            self.replicate_object(object_id)
+
+    # -- live migration (repro.placement.migrate) -------------------------------
+
+    def migration_descriptor(self, object_id: ObjectID) -> dict | None:
+        """Source side: the wire descriptor MigratePrepare carries, or None
+        if the object is no longer a migratable sealed primary."""
+        with self.table.lock:
+            entry = self.table.lookup(object_id)
+            if entry is None or not entry.is_sealed or entry.quarantined:
+                return None
+            return {
+                "object_id": object_id.binary(),
+                "offset": entry.payload_offset + self._exposed_offset,
+                "data_size": entry.data_size,
+                "metadata": entry.metadata,
+            }
+
+    def begin_adopt(
+        self,
+        source: str,
+        object_id: ObjectID,
+        offset: int,
+        data_size: int,
+        metadata: bytes = b"",
+        holders=(),
+    ) -> str:
+        """Destination side of MigratePrepare: allocate a fresh extent (new
+        integrity-header generation, header written *unsealed*) and pull
+        the payload zero-copy from the source's exposed region. Returns
+        ``'sealed'`` when a sealed copy already lives here (idempotent
+        re-drive after a source crash, or a promoted replica), else
+        ``'prepared'``."""
+        with self.table.lock:
+            existing = self.table.lookup(object_id)
+            sealed_already = existing is not None and existing.is_sealed
+        if sealed_already:
+            self._replicas_of.pop(object_id, None)
+            others = [h for h in holders if h != self._name]
+            if others:
+                self.record_replicas(object_id, others)
+            self.counters.inc("adoptions_already_sealed")
+            return "sealed"
+        if existing is not None:
+            # Unsealed leftover of an earlier aborted migration: discard
+            # the half-copy and pull afresh.
+            self.abort_adopt(object_id)
+        handle = self.peer(source)
+        entry = self.create_object_unchecked(object_id, data_size, metadata)
+        payload = handle.remote_region.view(offset, data_size)
+        handle.remote_region.charge_read(data_size)
+        self.local_buffer(entry).write(payload)
+        self._pending_adoptions.add(object_id)
+        others = [h for h in holders if h != self._name]
+        if others:
+            self.record_replicas(object_id, others)
+        self.counters.inc("adoptions_prepared")
+        return "prepared"
+
+    def commit_adopt(self, object_id: ObjectID) -> int:
+        """Destination side of MigrateCommit: seal — payload CRC, in-region
+        seal flag and directory publication all happen under the table
+        mutex, so the new descriptor becomes visible atomically. Idempotent
+        for a re-sent commit; returns the new generation."""
+        if object_id not in self._pending_adoptions:
+            with self.table.lock:
+                entry = self.table.lookup(object_id)
+                if entry is not None and entry.is_sealed:
+                    return entry.generation
+            raise ObjectNotFoundError(
+                f"{self._name} has no pending migration for {object_id!r}"
+            )
+        entry = self.seal_object(object_id)
+        self._pending_adoptions.discard(object_id)
+        self.counters.inc("adoptions_committed")
+        return entry.generation
+
+    def abort_adopt(self, object_id: ObjectID) -> None:
+        """Drop an unsealed adoption (never published, so never referenced);
+        retire-before-free keeps any racing fabric reader typed-failing."""
+        with self.table.lock:
+            entry = self.table.lookup(object_id)
+            if entry is None or entry.is_sealed:
+                self._pending_adoptions.discard(object_id)
+                return
+            self.table.remove(object_id)
+            self._retire_header(entry)
+            self._allocator.free(entry.allocation.offset)
+        self._pending_adoptions.discard(object_id)
+        self.counters.inc("adoptions_aborted")
+
+    def retire_migrated(self, object_id: ObjectID) -> bool:
+        """Source side, after a committed migration: retire the local copy
+        via the retire-before-free path (generation bump + seal-flag clear
+        *before* the extent returns to the allocator), so an in-flight
+        remote reader fails typed and re-looks-up at the new home. A copy
+        pinned by readers is deferred instead of yanked; returns True when
+        the copy is gone, False when deferred."""
+        with self.table.lock:
+            entry = self.table.lookup(object_id)
+            if entry is None:
+                self._deferred_retires.discard(object_id)
+                return True
+            if entry.total_refs > 0:
+                if object_id not in self._deferred_retires:
+                    self._deferred_retires.add(object_id)
+                    self.counters.inc("migration_retires_deferred")
+                return False
+            self.table.remove(object_id)
+            self._retire_header(entry)
+            self._allocator.free(entry.allocation.offset)
+        self._deferred_retires.discard(object_id)
+        self._replicated_to.pop(object_id, None)
+        self._retract_from_directory(object_id)
+        self._broadcast_deleted(object_id)
+        self._notify(SealNotification(object_id, entry.data_size, deleted=True))
+        self.counters.inc("objects_migrated_out")
+        self.counters.inc("bytes_migrated_out", entry.data_size)
+        return True
+
+    def flush_deferred_retires(self) -> int:
+        """Retry deferred source retirements (rebalancer tick); returns how
+        many copies were actually freed."""
+        done = 0
+        for oid in sorted(self._deferred_retires):
+            if self.retire_migrated(oid):
+                done += 1
+        return done
+
+    def deferred_retires(self) -> frozenset:
+        return frozenset(self._deferred_retires)
 
     # -- descriptor translation ---------------------------------------------------
 
@@ -716,11 +1022,14 @@ class DisaggregatedStore(PlasmaStore):
         record.local_refs -= 1
         if record.local_refs == 0:
             if record.pinned_at_home:
-                self._peers[record.home].stub.ReleaseRef(
-                    {"object_ids": [object_id.binary()]}
-                )
+                # The home may have been removed from the cluster while the
+                # reader held the buffer; the local release still completes.
+                if record.home in self._peers:
+                    self._peers[record.home].stub.ReleaseRef(
+                        {"object_ids": [object_id.binary()]}
+                    )
+                    self.counters.inc("releaseref_rpcs")
                 record.pinned_at_home = False
-                self.counters.inc("releaseref_rpcs")
             # Drop the live record; the descriptor may survive in the
             # lookup cache for future requests.
             del self._remote_records[object_id]

@@ -13,7 +13,7 @@ register *labeled families* of three instrument kinds —
   losslessly into cluster-wide views).
 
 :class:`CounterGroup` is the migration path for the pre-registry ad-hoc
-``repro.common.stats.Counter`` bags scattered across stores, links and
+ad-hoc counter bags that used to be scattered across stores, links and
 channels: the same dict-backed ``inc``/``get``/``snapshot`` hot path, plus
 the ability to be *bound* to a registry so every key exports as a labeled
 counter family at scrape time — binding costs nothing per increment.
@@ -52,7 +52,7 @@ def _check_name(name: str, what: str = "metric") -> str:
 class CounterGroup:
     """A named bag of monotonically increasing counters.
 
-    Drop-in successor of the deprecated ``repro.common.stats.Counter``:
+    Drop-in successor of the removed ``repro.common.stats.Counter``:
     the hot path is one dict update, nothing else. Binding the group to a
     registry (:meth:`MetricsRegistry.register_group`) is done once at
     wiring time; afterwards every key appears as a counter family in the

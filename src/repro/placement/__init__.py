@@ -1,0 +1,30 @@
+"""repro.placement — elastic membership, consistent-hash placement, and
+live object migration for the disaggregated mesh.
+
+See docs/architecture.md "Placement & elasticity" for the epoch model and
+the migration safety argument.
+"""
+
+from repro.placement.membership import (
+    MemberInfo,
+    Membership,
+    NodeStatus,
+    TopologyView,
+)
+from repro.placement.migrate import MigrationEngine, MigrationResult
+from repro.placement.rebalance import ConvergenceReport, Rebalancer, TickReport
+from repro.placement.ring import HashRing, capacity_derate
+
+__all__ = [
+    "NodeStatus",
+    "MemberInfo",
+    "TopologyView",
+    "Membership",
+    "HashRing",
+    "capacity_derate",
+    "MigrationEngine",
+    "MigrationResult",
+    "Rebalancer",
+    "TickReport",
+    "ConvergenceReport",
+]

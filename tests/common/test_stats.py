@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.stats import Counter, Distribution, RunningStats
+from repro.common.stats import Distribution, RunningStats
 
 finite_floats = st.floats(
     min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
@@ -112,23 +112,3 @@ class TestDistribution:
         qs = [d.quantile(q / 10) for q in range(11)]
         assert qs == sorted(qs)
         assert qs[0] == d.min and qs[-1] == d.max
-
-
-class TestCounter:
-    def test_inc_and_get(self):
-        c = Counter()
-        c.inc("x")
-        c.inc("x", 4)
-        assert c.get("x") == 5
-        assert c.get("missing") == 0
-
-    def test_rejects_negative(self):
-        with pytest.raises(ValueError):
-            Counter().inc("x", -1)
-
-    def test_snapshot_is_copy(self):
-        c = Counter()
-        c.inc("a")
-        snap = c.snapshot()
-        snap["a"] = 99
-        assert c.get("a") == 1

@@ -1,0 +1,88 @@
+"""Lookup-cache satellite: epoch stamping, node purges, eviction stats."""
+
+from __future__ import annotations
+
+from repro.common.ids import UniqueIDGenerator
+from repro.common.rng import DeterministicRng
+from repro.core.lookup_cache import LookupCache
+from repro.core.remote import RemoteObjectRecord
+
+
+def make_record(oid, home="node1"):
+    return RemoteObjectRecord(
+        object_id=oid, home=home, offset=0, data_size=64
+    )
+
+
+def make_ids(n):
+    return UniqueIDGenerator(DeterministicRng(77).spawn("cache-ids")).take(n)
+
+
+class TestEpochInvalidation:
+    def test_entry_from_older_epoch_is_lazy_miss(self):
+        cache = LookupCache()
+        oid = make_ids(1)[0]
+        cache.put(make_record(oid))
+        assert cache.get(oid) is not None
+        cache.set_epoch(2)
+        assert cache.get(oid) is None
+        assert cache.invalidations == 1
+        assert oid not in cache
+
+    def test_entry_stamped_after_epoch_change_survives(self):
+        cache = LookupCache()
+        cache.set_epoch(3)
+        oid = make_ids(1)[0]
+        cache.put(make_record(oid))
+        cache.set_epoch(3)  # same epoch re-install: no-op
+        assert cache.get(oid) is not None
+
+    def test_epoch_is_monotonic(self):
+        cache = LookupCache()
+        cache.set_epoch(5)
+        cache.set_epoch(3)  # stale view must not roll the stamp back
+        assert cache.epoch == 5
+
+
+class TestInvalidateNode:
+    def test_purges_only_that_home(self):
+        cache = LookupCache()
+        ids = make_ids(6)
+        for oid in ids[:4]:
+            cache.put(make_record(oid, home="leaving"))
+        for oid in ids[4:]:
+            cache.put(make_record(oid, home="staying"))
+        assert cache.invalidate_node("leaving") == 4
+        assert cache.invalidations == 4
+        assert len(cache) == 2
+        for oid in ids[4:]:
+            assert cache.get(oid) is not None
+
+    def test_unknown_node_is_noop(self):
+        cache = LookupCache()
+        assert cache.invalidate_node("ghost") == 0
+        assert cache.invalidations == 0
+
+
+class TestEvictionStats:
+    def test_lru_eviction_counted(self):
+        cache = LookupCache(max_entries=3)
+        ids = make_ids(5)
+        for oid in ids:
+            cache.put(make_record(oid))
+        assert cache.evictions == 2
+        assert len(cache) == 3
+        # Oldest two went; newest three remain.
+        assert ids[0] not in cache and ids[1] not in cache
+        for oid in ids[2:]:
+            assert oid in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LookupCache(max_entries=2)
+        a, b, c = make_ids(3)
+        cache.put(make_record(a))
+        cache.put(make_record(b))
+        assert cache.get(a) is not None  # a becomes most-recent
+        cache.put(make_record(c))  # evicts b, not a
+        assert a in cache and b not in cache and c in cache
+        assert cache.evictions == 1
