@@ -24,6 +24,12 @@ Commands:
   cluster, route a batch of creates through the consistent-hash ring, and
   print the ring layout (ownership shares, vnodes, utilization, epoch);
   optionally drain a node and rebalance first.
+* ``simtest`` — deterministic simulation testing: seeded random
+  workloads + faults checked against a sequential oracle, with
+  delta-debugging trace shrinking (``--shrink``), a sweep mode
+  (``--seeds N`` / ``--profile``), a byte-identical replay check for a
+  single ``--seed``, and a ``--self-check`` mode that plants a known
+  bug and proves the harness catches and shrinks it.
 """
 
 from __future__ import annotations
@@ -518,6 +524,72 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simtest(args: argparse.Namespace) -> int:
+    from repro.simtest.harness import PROFILES, run_seed, run_seeds
+    from repro.simtest.selfcheck import run_selfcheck
+    from repro.simtest.shrink import emit_pytest, format_trace, shrink_result
+
+    if args.self_check:
+        report = run_selfcheck(mutation=args.mutation or "skip_retire")
+        print(report.summary())
+        if not report.caught:
+            return 1
+        print(format_trace(report.shrink))
+        if args.emit:
+            with open(args.emit, "w", encoding="utf-8") as fh:
+                fh.write(report.pytest_source)
+            print(f"wrote reproducer to {args.emit}")
+        return 0 if len(report.shrink.minimal) <= 25 else 1
+
+    n_seeds, n_ops = PROFILES[args.profile]
+    if args.seeds is not None:
+        n_seeds = args.seeds
+    if args.ops is not None:
+        n_ops = args.ops
+
+    if args.seed is not None:
+        # Single-seed mode: run twice, require byte-identical traces.
+        first = run_seed(args.seed, n_ops, mutation=args.mutation)
+        second = run_seed(args.seed, n_ops, mutation=args.mutation)
+        identical = first.trace_text() == second.trace_text()
+        print(first.trace_text(), end="")
+        print(f"replay byte-identical: {identical}")
+        print(first.report())
+        if not first.ok and args.shrink:
+            report = shrink_result(first)
+            print(format_trace(report))
+            if args.emit:
+                with open(args.emit, "w", encoding="utf-8") as fh:
+                    fh.write(emit_pytest(report, expect="clean"))
+                print(f"wrote reproducer to {args.emit}")
+        return 0 if first.ok and identical else 1
+
+    def progress(seed: int, result) -> None:
+        if (seed - args.base_seed + 1) % 50 == 0:
+            print(
+                f"  ... {seed - args.base_seed + 1}/{n_seeds} seeds "
+                f"({'clean' if result.ok else 'FAILING'})",
+                file=sys.stderr,
+            )
+
+    sweep = run_seeds(
+        n_seeds,
+        n_ops,
+        base_seed=args.base_seed,
+        mutation=args.mutation,
+        progress=progress,
+    )
+    print(sweep.summary())
+    if not sweep.ok and args.shrink:
+        report = shrink_result(sweep.failures[0])
+        print(format_trace(report))
+        if args.emit:
+            with open(args.emit, "w", encoding="utf-8") as fh:
+                fh.write(emit_pytest(report, expect="clean"))
+            print(f"wrote reproducer to {args.emit}")
+    return 0 if sweep.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -602,6 +674,36 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--json", action="store_true",
                           help="print the snapshot as JSON")
 
+    simtest = sub.add_parser(
+        "simtest",
+        help="deterministic simulation testing: model-checked cluster "
+             "fuzzing with trace shrinking",
+    )
+    simtest.add_argument("--seed", type=int, default=None,
+                         help="run one seed twice and require byte-identical "
+                              "traces (default: sweep mode)")
+    simtest.add_argument("--seeds", type=int, default=None,
+                         help="number of seeds to sweep (overrides --profile)")
+    simtest.add_argument("--ops", type=int, default=None,
+                         help="ops per seed (overrides --profile)")
+    simtest.add_argument("--base-seed", type=int, default=0,
+                         help="first seed of the sweep")
+    simtest.add_argument("--profile", choices=("smoke", "nightly"),
+                         default="smoke",
+                         help="seed budget preset: smoke=100x200, "
+                              "nightly=500x300")
+    simtest.add_argument("--shrink", action="store_true",
+                         help="delta-debug the first failing trace to a "
+                              "minimal reproducer")
+    simtest.add_argument("--self-check", action="store_true",
+                         help="plant a known mutation and assert the harness "
+                              "catches and shrinks it")
+    simtest.add_argument("--mutation", default=None,
+                         help="apply a named mutation during the run "
+                              "(self-check default: skip_retire)")
+    simtest.add_argument("--emit", metavar="PATH", default=None,
+                         help="write the shrunk reproducer as a pytest file")
+
     return parser
 
 
@@ -614,6 +716,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "recover": _cmd_recover,
     "topology": _cmd_topology,
+    "simtest": _cmd_simtest,
 }
 
 

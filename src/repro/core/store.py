@@ -946,6 +946,7 @@ class DisaggregatedStore(PlasmaStore):
                 if entry.total_refs > 0:
                     continue
                 self.table.remove(oid)
+                self._retire_header(entry)
                 self._allocator.free(entry.allocation.offset)
             del self._replicas_of[oid]
             self._retract_from_directory(oid)
@@ -977,6 +978,10 @@ class DisaggregatedStore(PlasmaStore):
             return
         payload = {"object_ids": [object_id.binary()]}
         for name in holders:
+            if name not in self._peers:
+                # The holder left the cluster (remove_node disconnects the
+                # peer); its copy is gone with it, nothing to drop.
+                continue
             try:
                 self._peers[name].stub.DropReplica(payload)
             except RpcStatusError as exc:

@@ -1,0 +1,839 @@
+"""Simulation runner: apply a trace to a real Cluster, check the oracle.
+
+The runner owns a three-node seed cluster (placement + chaos + RPC
+sharing enabled), executes ops one at a time, and records a one-line
+outcome per op. Because every component runs on the simulated clock and
+all randomness flows from the seed, the recorded trace text is
+byte-identical across runs — the determinism the shrinker and the
+golden-seed corpus rely on.
+
+Invariants checked (violations stop the run):
+
+* **oracle agreement** — get outcomes must be consistent with the
+  sequential model (no phantom objects, no lost objects on a quiet
+  cluster, no resurrection after a clean delete, bytes always exact);
+* **sealed immutability / CRC** — every sealed extent passes
+  ``verify_object`` and its at-rest bytes equal the generated payload;
+* **no duplicate primaries** — at most one live sealed non-replica
+  extent per object id (crash-recovery amnesty aside);
+* **allocator accounting** — ``used_bytes`` equals the sum of live
+  extent padded sizes, and ``Allocator.audit()`` holds;
+* **topology epochs** — per-node epochs never move backwards;
+* **convergence** — after healing every fault, breakers close, the
+  rebalancer converges, and every surviving object is readable from its
+  ring home with exact bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos import (
+    FaultPlan,
+    LinkDegrade,
+    LinkHeal,
+    LinkPartition,
+    LinkRestore,
+    NodeCrash,
+    NodeRestart,
+    RpcBlackhole,
+)
+from repro.common.clock import NS_PER_MS
+from repro.common.config import ClusterConfig
+from repro.common.errors import (
+    ObjectCorruptedError,
+    ObjectNotFoundError,
+    ObjectUnavailableError,
+    ReproError,
+    StaleDescriptorError,
+)
+from repro.common.ids import ObjectID
+from repro.common.units import MiB
+from repro.core import Cluster
+from repro.core.health import BreakerState
+from repro.placement.membership import NodeStatus
+from repro.scrub import Scrubber
+from repro.simtest import mutations
+from repro.simtest.model import Model, ObjState, metadata_for, payload_for
+from repro.simtest.ops import Op
+from repro.simtest.workload import SEED_NODES, generate_ops
+
+#: Per-node region size. Large enough that the workload never triggers
+#: eviction (which would invalidate the oracle's LIVE bookkeeping).
+CAPACITY_BYTES = 8 * MiB
+
+#: Structural (allocator/table/at-rest-bytes) checks run every N ops.
+DEEP_CHECK_EVERY = 25
+
+PROFILES = {"smoke": (100, 200), "nightly": (500, 300)}
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    op_index: int
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] at op {self.op_index}: {self.message}"
+
+
+@dataclass
+class RunResult:
+    seed: int
+    ops: list[Op]
+    steps: list[str]
+    violations: list[Violation]
+    mutation: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def trace_text(self) -> str:
+        return "\n".join(self.steps) + "\n"
+
+    def report(self) -> str:
+        lines = [f"seed={self.seed} ops={len(self.ops)} "
+                 f"{'OK' if self.ok else 'FAILED'}"]
+        lines += [v.describe() for v in self.violations]
+        return "\n".join(lines)
+
+    def to_trace(self) -> dict:
+        out = {"seed": self.seed, "ops": [op.to_obj() for op in self.ops]}
+        if self.mutation is not None:
+            out["mutation"] = self.mutation
+        return out
+
+
+class SimulationRunner:
+    """Execute one op trace against a fresh cluster and judge the result."""
+
+    def __init__(self, seed: int, *, mutation: str | None = None):
+        self.seed = seed
+        self.mutation = mutation
+        self.model = Model()
+        self.steps: list[str] = []
+        self.violations: list[Violation] = []
+        self._op_index = -1
+        self._present: list[str] = list(SEED_NODES)
+        self._crashed: set[str] = set()
+        self._removed: set[str] = set()
+        self._partitions: set[tuple[str, str]] = set()
+        self._degraded: set[tuple[str, str]] = set()
+        self._blackhole_until = 0
+        self._epochs: dict[str, int] = {}
+        self._clients: dict[str, object] = {}
+        self.cluster: Cluster | None = None
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_cluster(self) -> Cluster:
+        config = ClusterConfig(seed=self.seed).with_store(
+            capacity_bytes=CAPACITY_BYTES
+        )
+        return Cluster(
+            config,
+            node_names=list(SEED_NODES),
+            sharing="rpc",
+            enable_lookup_cache=True,
+            check_remote_uniqueness=False,
+            fault_plan=FaultPlan(),
+            placement=True,
+        )
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, ops: list[Op]) -> RunResult:
+        with mutations.apply(self.mutation):
+            self.cluster = self._build_cluster()
+            for index, op in enumerate(ops):
+                self._op_index = index
+                outcome = self._execute(op)
+                self.steps.append(f"{index:04d} {op.format()} -> {outcome}")
+                self._check_epochs()
+                if not self.violations and (index + 1) % DEEP_CHECK_EVERY == 0:
+                    self._deep_check()
+                if self.violations:
+                    break
+            if not self.violations:
+                self._deep_check()
+            if not self.violations:
+                self._converge_and_sweep()
+        for violation in self.violations:
+            self.steps.append(f"VIOLATION {violation.describe()}")
+        return RunResult(
+            seed=self.seed,
+            ops=list(ops),
+            steps=self.steps,
+            violations=list(self.violations),
+            mutation=self.mutation,
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def _violate(self, kind: str, message: str) -> None:
+        self.violations.append(Violation(kind, self._op_index, message))
+
+    def _now(self) -> int:
+        return self.cluster.clock.now_ns
+
+    def _up(self) -> list[str]:
+        return [n for n in self._present if n not in self._crashed]
+
+    def _client(self, node: str):
+        client = self._clients.get(node)
+        if client is None:
+            client = self.cluster.client(node, client_name=f"sim-{node}")
+            self._clients[node] = client
+        return client
+
+    def _drop_client(self, node: str) -> None:
+        self._clients.pop(node, None)
+
+    def _faults_active(self) -> bool:
+        return bool(
+            self._crashed
+            or self._partitions
+            or self._now() < self._blackhole_until
+        )
+
+    def _breakers_closed(self, node: str) -> bool:
+        for peer, channel in sorted(self.cluster.node(node).channels.items()):
+            if peer not in self._present or peer in self._crashed:
+                continue
+            breaker = channel.breaker
+            if breaker is not None and breaker.state is not BreakerState.CLOSED:
+                return False
+        return True
+
+    def _degraded_visibility(self, node: str) -> bool:
+        """True when a failed read from ``node`` is excusable."""
+
+        return self._faults_active() or not self._breakers_closed(node)
+
+    @staticmethod
+    def _obj_of(object_id: ObjectID) -> int:
+        return int.from_bytes(object_id.binary(), "big")
+
+    def _mark_exposure(self, node: str) -> None:
+        """A node's store state is about to be wiped (crash or rebuild):
+        give every object with an extent there dirty-delete/dup amnesty."""
+
+        store = self.cluster.store(node)
+        with store.table.lock:
+            objs = {self._obj_of(e.object_id) for e in store.table}
+        self.model.mark_crash_exposure(objs)
+
+    def _find_holder(self, object_id: ObjectID) -> str | None:
+        """Node holding the live sealed primary extent, if any."""
+
+        for name in sorted(self._up()):
+            store = self.cluster.store(name)
+            if object_id in store.deferred_retires():
+                continue
+            if store.is_replica(object_id):
+                continue
+            with store.table.lock:
+                entry = store.table.lookup(object_id)
+                if entry is not None and entry.is_sealed and not entry.quarantined:
+                    return name
+        return None
+
+    # ------------------------------------------------------------------ ops
+
+    def _execute(self, op: Op) -> str:
+        handler = getattr(self, f"_do_{op.kind}")
+        try:
+            return handler(op)
+        except Exception as exc:  # noqa: BLE001 - an exception escaping the
+            # handler (ReproError or not) is a finding worth shrinking, not a
+            # harness crash.
+            self._violate(
+                "unexpected-exception",
+                f"{op.format()} raised {type(exc).__name__}: {exc}",
+            )
+            return f"crash:{type(exc).__name__}"
+
+    def _do_put(self, op: Op) -> str:
+        node = str(op["node"])
+        obj = int(op["obj"])
+        if node not in self._up():
+            return "skip:node-down"
+        if self.model.state(obj) is not None:
+            return "skip:obj-reused"
+        size = int(op["size"])
+        oid = ObjectID.from_int(obj)
+        store = self.cluster.store(node)
+        replicas = min(int(op["replicas"]), 1 + len(store.peers()))
+        try:
+            self._client(node).put_bytes(
+                oid, payload_for(obj, size), metadata_for(obj), replicas=replicas
+            )
+        except ReproError as exc:
+            self.model.record_put_failed(obj, size)
+            return f"fail:{type(exc).__name__}"
+        self.model.record_put_ok(obj, size)
+        return "ok"
+
+    def _do_get(self, op: Op) -> str:
+        node = str(op["node"])
+        obj = int(op["obj"])
+        if node not in self._up():
+            return "skip:node-down"
+        oid = ObjectID.from_int(obj)
+        state = self.model.state(obj)
+        outcome, data = self._read(node, oid)
+        self._judge_get(obj, state, node, outcome, data)
+        return outcome
+
+    def _read(self, node: str, oid: ObjectID) -> tuple[str, bytes | None]:
+        client = self._client(node)
+        try:
+            buffers = client.get([oid], allow_missing=True)
+        except ObjectUnavailableError:
+            return "unavailable", None
+        except ObjectCorruptedError:
+            return "corrupt", None
+        except StaleDescriptorError:
+            return "stale", None
+        except ReproError as exc:
+            return f"error:{type(exc).__name__}", None
+        buffer = buffers[0]
+        if buffer is None:
+            return "notfound", None
+        try:
+            data = buffer.read_all()
+        except ObjectCorruptedError:
+            return "corrupt", None
+        except StaleDescriptorError:
+            return "stale", None
+        except ReproError as exc:
+            return f"error:{type(exc).__name__}", None
+        finally:
+            client.release(oid)
+        return "ok", data
+
+    def _judge_get(
+        self,
+        obj: int,
+        state: ObjState | None,
+        node: str,
+        outcome: str,
+        data: bytes | None,
+    ) -> None:
+        excused = self._degraded_visibility(node)
+        if outcome == "ok":
+            if state is None:
+                self._violate("phantom-object", f"get({obj}) returned bytes "
+                              "for an object that was never put")
+            elif state is ObjState.DELETED_CLEAN:
+                self._violate("resurrection", f"get({obj}) returned bytes "
+                              "after a clean delete")
+            elif data != payload_for(obj, self.model.size(obj)):
+                self._violate("wrong-bytes", f"get({obj}) returned "
+                              f"{len(data)} bytes that do not match the "
+                              "generated payload")
+            return
+        if outcome == "corrupt":
+            self._violate("corruption", f"get({obj}) raised corruption")
+            return
+        if state is ObjState.LIVE:
+            if outcome == "notfound" and not excused:
+                self._violate("lost-object", f"get({obj}) -> notfound on a "
+                              "quiet cluster for a live object")
+            elif outcome in ("unavailable", "stale") and not excused:
+                self._violate("unavailable-quiet", f"get({obj}) -> {outcome} "
+                              "on a quiet cluster for a live object")
+            elif outcome.startswith("error:") and not excused:
+                self._violate("unavailable-quiet", f"get({obj}) -> {outcome} "
+                              "on a quiet cluster for a live object")
+
+    def _do_delete(self, op: Op) -> str:
+        obj = int(op["obj"])
+        state = self.model.state(obj)
+        if state not in (ObjState.LIVE, ObjState.MAYBE):
+            return "skip:not-live"
+        oid = ObjectID.from_int(obj)
+        holder = self._find_holder(oid)
+        if holder is None:
+            if state is ObjState.LIVE and not self._faults_active():
+                self._violate("lost-object",
+                              f"delete({obj}): live object has no sealed "
+                              "primary extent on a quiet cluster")
+            return "skip:no-holder"
+        clean = (
+            state is ObjState.LIVE
+            and not self._faults_active()
+            and obj not in self.model.dirty_delete
+            and self._breakers_closed(holder)
+        )
+        try:
+            self.cluster.store(holder).delete_object(oid)
+        except ReproError as exc:
+            self.model.record_deleted(obj, clean=False)
+            return f"fail:{type(exc).__name__}"
+        self.model.record_deleted(obj, clean=clean)
+        return "ok:clean" if clean else "ok:dirty"
+
+    def _do_crash(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._up() or len(self._up()) < 2:
+            return "skip"
+        self._mark_exposure(node)
+        self.cluster.chaos.inject(NodeCrash(at_ns=self._now(), node=node))
+        self.cluster.chaos.poll()
+        self._crashed.add(node)
+        self._drop_client(node)
+        return "ok"
+
+    def _do_recover(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._crashed or node not in self._present:
+            return "skip"
+        self._recover_one(node)
+        return "ok"
+
+    def _recover_one(self, node: str) -> None:
+        self._mark_exposure(node)
+        if node in self._crashed:
+            self.cluster.chaos.inject(NodeRestart(at_ns=self._now(), node=node))
+            self.cluster.chaos.poll()
+        self.cluster.recover_node(node)
+        self._crashed.discard(node)
+        self._drop_client(node)
+        self._epochs.pop(node, None)
+
+    def _do_partition(self, op: Op) -> str:
+        a, b = str(op["a"]), str(op["b"])
+        pair = (min(a, b), max(a, b))
+        if a == b or a in self._removed or b in self._removed:
+            return "skip"
+        if pair in self._partitions:
+            return "skip:already"
+        self.cluster.chaos.inject(
+            LinkPartition(at_ns=self._now(), node_a=a, node_b=b)
+        )
+        self.cluster.chaos.poll()
+        self._partitions.add(pair)
+        return "ok"
+
+    def _do_heal(self, op: Op) -> str:
+        a, b = str(op["a"]), str(op["b"])
+        pair = (min(a, b), max(a, b))
+        if pair not in self._partitions:
+            return "skip"
+        self.cluster.chaos.inject(LinkHeal(at_ns=self._now(), node_a=a, node_b=b))
+        self.cluster.chaos.poll()
+        self._partitions.discard(pair)
+        return "ok"
+
+    def _do_degrade(self, op: Op) -> str:
+        a, b = str(op["a"]), str(op["b"])
+        pair = (min(a, b), max(a, b))
+        if a == b or a in self._removed or b in self._removed:
+            return "skip"
+        if pair in self._degraded:
+            return "skip:already"
+        self.cluster.chaos.inject(
+            LinkDegrade(at_ns=self._now(), node_a=a, node_b=b)
+        )
+        self.cluster.chaos.poll()
+        self._degraded.add(pair)
+        return "ok"
+
+    def _do_restore(self, op: Op) -> str:
+        a, b = str(op["a"]), str(op["b"])
+        pair = (min(a, b), max(a, b))
+        if pair not in self._degraded:
+            return "skip"
+        self.cluster.chaos.inject(
+            LinkRestore(at_ns=self._now(), node_a=a, node_b=b)
+        )
+        self.cluster.chaos.poll()
+        self._degraded.discard(pair)
+        return "ok"
+
+    def _do_blackhole(self, op: Op) -> str:
+        src, dst = str(op["src"]), str(op["dst"])
+        if src == dst or src in self._removed or dst in self._removed:
+            return "skip"
+        duration_ns = int(op["ms"]) * NS_PER_MS
+        self.cluster.chaos.inject(
+            RpcBlackhole(
+                at_ns=self._now(), src=src, dst=dst, duration_ns=duration_ns
+            )
+        )
+        self.cluster.chaos.poll()
+        self._blackhole_until = max(
+            self._blackhole_until, self._now() + duration_ns
+        )
+        return "ok"
+
+    def _do_add_node(self, op: Op) -> str:
+        node = str(op["node"])
+        if node in self.cluster.node_names() or node in self._removed:
+            return "skip:exists"
+        try:
+            self.cluster.add_node(node)
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        self._present.append(node)
+        return "ok"
+
+    def _do_drain(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._up():
+            return "skip"
+        view = self.cluster.membership.view()
+        active = [
+            n for n in view.names() if view.status(n) is NodeStatus.ACTIVE
+        ]
+        if node not in active or len(active) < 3:
+            return "skip:not-enough-active"
+        try:
+            self.cluster.drain_node(node)
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        return "ok"
+
+    def _do_remove(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._present or node in self._crashed:
+            return "skip"
+        if len(self._up()) < 3:
+            return "skip:too-few"
+        view = self.cluster.membership.view()
+        if node not in view.names():
+            return "skip:not-member"
+        if view.status(node) is NodeStatus.ACTIVE:
+            return "skip:still-active"
+        try:
+            self.cluster.remove_node(node)
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        self._present.remove(node)
+        self._removed.add(node)
+        self._drop_client(node)
+        self._epochs.pop(node, None)
+        self._partitions = {
+            p for p in self._partitions if node not in p
+        }
+        self._degraded = {p for p in self._degraded if node not in p}
+        return "ok"
+
+    def _do_scrub(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._up():
+            return "skip:node-down"
+        report = Scrubber(self.cluster.store(node)).run()
+        return f"ok:scanned={report.scanned}:quarantined={report.quarantined}"
+
+    def _do_rebalance(self, op: Op) -> str:
+        try:
+            self.cluster.rebalancer.tick()
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        return "ok"
+
+    def _do_health(self, op: Op) -> str:
+        self.cluster.health_tick()
+        return "ok"
+
+    def _do_advance(self, op: Op) -> str:
+        self.cluster.clock.advance(int(op["ms"]) * NS_PER_MS)
+        self.cluster.chaos.poll()
+        return "ok"
+
+    # ------------------------------------------------------------------ checks
+
+    def _check_epochs(self) -> None:
+        for name in sorted(set(self._up())):
+            store = self.cluster.store(name)
+            epoch = store.topology_epoch
+            last = self._epochs.get(name)
+            if last is not None and epoch < last:
+                self._violate(
+                    "epoch-regression",
+                    f"{name}: topology epoch went {last} -> {epoch}",
+                )
+            self._epochs[name] = epoch
+
+    def _deep_check(self) -> None:
+        primaries: dict[int, list[str]] = {}
+        for name in sorted(self._up()):
+            store = self.cluster.store(name)
+            try:
+                store.allocator.audit()
+            except ReproError as exc:
+                self._violate("alloc-overlap", f"{name}: audit failed: {exc}")
+                return
+            with store.table.lock:
+                entries = list(store.table)
+            expected_used = sum(e.allocation.padded_size for e in entries)
+            if store.allocator.used_bytes != expected_used:
+                self._violate(
+                    "alloc-accounting",
+                    f"{name}: allocator used={store.allocator.used_bytes} "
+                    f"but table extents sum to {expected_used}",
+                )
+            deferred = store.deferred_retires()
+            for entry in entries:
+                if not entry.is_sealed or entry.quarantined:
+                    continue
+                reason = store.verify_object(entry)
+                if reason is not None:
+                    self._violate(
+                        "corruption",
+                        f"{name}: sealed extent fails verify: {reason}",
+                    )
+                    continue
+                obj = self._obj_of(entry.object_id)
+                if obj in self.model.sizes and entry.data_size == self.model.size(obj):
+                    at_rest = bytes(
+                        store.region.view(entry.payload_offset, entry.data_size)
+                    )
+                    if at_rest != payload_for(obj, entry.data_size):
+                        self._violate(
+                            "wrong-bytes",
+                            f"{name}: at-rest bytes for object {obj} do not "
+                            "match the generated payload",
+                        )
+                if entry.object_id in deferred or store.is_replica(entry.object_id):
+                    continue
+                primaries.setdefault(obj, []).append(name)
+                if (
+                    self.model.state(obj) is ObjState.DELETED_CLEAN
+                    and obj not in self.model.amnesty
+                ):
+                    self._violate(
+                        "resurrection",
+                        f"{name}: live sealed extent for cleanly deleted "
+                        f"object {obj}",
+                    )
+        for obj, holders in sorted(primaries.items()):
+            if len(holders) > 1 and obj not in self.model.amnesty:
+                self._violate(
+                    "dup-primary",
+                    f"object {obj} has sealed primary extents on "
+                    f"{holders}",
+                )
+
+    # ------------------------------------------------------------------ converge
+
+    def _settle(self, *, require_quiet: bool, max_ticks: int = 60) -> bool:
+        """Tick health until breakers close (and, optionally, monitors
+        report no suspects). Returns False if it never settles."""
+
+        cluster = self.cluster
+        for _ in range(max_ticks):
+            cluster.health_tick()
+            cluster.clock.advance(60 * NS_PER_MS)
+            breakers_ok = all(
+                self._breakers_closed(n) for n in sorted(self._present)
+            )
+            monitors_quiet = all(
+                not cluster.node(n).monitor.suspects()
+                for n in sorted(self._present)
+                if cluster.node(n).monitor is not None
+            )
+            if breakers_ok and (monitors_quiet or not require_quiet):
+                return True
+        return False
+
+    def _converge_and_sweep(self) -> None:
+        self._op_index = len(self.steps)
+        cluster = self.cluster
+        now = self._now()
+        for a, b in sorted(self._partitions):
+            cluster.chaos.inject(LinkHeal(at_ns=now, node_a=a, node_b=b))
+        for a, b in sorted(self._degraded):
+            cluster.chaos.inject(LinkRestore(at_ns=now, node_a=a, node_b=b))
+        cluster.chaos.poll()
+        self._partitions.clear()
+        self._degraded.clear()
+        if self._now() < self._blackhole_until:
+            cluster.clock.advance(self._blackhole_until - self._now() + NS_PER_MS)
+            cluster.chaos.poll()
+        for node in sorted(self._crashed):
+            self._recover_one(node)
+
+        # Phase 1: drive heartbeats until every breaker closes. Reconcile
+        # may still (re-)demote suspected members during this window.
+        if not self._settle(require_quiet=False):
+            self._violate(
+                "no-breaker-convergence",
+                "breakers did not close after healing all faults",
+            )
+            return
+        # Phase 2: membership only ever demotes on its own; re-activate
+        # every DOWN member now that the mesh is healthy again.
+        view = cluster.membership.view()
+        for node in sorted(view.names()):
+            if node in self._removed or node not in self._present:
+                continue
+            if view.status(node) is NodeStatus.DOWN:
+                self._recover_one(node)
+        # Phase 3: everything should now go and stay quiet.
+        if not self._settle(require_quiet=True):
+            self._violate(
+                "no-breaker-convergence",
+                "monitors/breakers did not settle after re-activating "
+                "suspected members",
+            )
+            return
+
+        report = cluster.rebalancer.run_until_converged()
+        if not report.converged:
+            self._violate(
+                "no-rebalance-convergence",
+                "rebalancer did not converge after healing all faults",
+            )
+            return
+        for node in sorted(self._present):
+            Scrubber(cluster.store(node)).run()
+        self.steps.append("conv: healed, recovered, settled, rebalanced, scrubbed")
+
+        self._deep_check()
+        if self.violations:
+            return
+        self._final_sweep()
+
+    def _final_sweep(self) -> None:
+        cluster = self.cluster
+        reader = sorted(self._present)[0]
+        ring = cluster.placement_ring()
+        for obj in self.model.objects():
+            state = self.model.state(obj)
+            oid = ObjectID.from_int(obj)
+            if state is ObjState.LIVE:
+                home = ring.home(oid)
+                outcome, data = self._read(home, oid)
+                if outcome != "ok":
+                    self._violate(
+                        "unreadable-at-home",
+                        f"object {obj}: read from ring home {home} after "
+                        f"convergence -> {outcome}",
+                    )
+                    continue
+                if data != payload_for(obj, self.model.size(obj)):
+                    self._violate(
+                        "wrong-bytes",
+                        f"object {obj}: bytes read from ring home {home} "
+                        "do not match the generated payload",
+                    )
+                    continue
+                holder = self._find_holder(oid)
+                if holder != home:
+                    self._violate(
+                        "misplaced-after-converge",
+                        f"object {obj}: primary extent on {holder!r}, ring "
+                        f"home is {home!r}",
+                    )
+                others = [n for n in sorted(self._present) if n != home]
+                if others:
+                    outcome, data = self._read(others[0], oid)
+                    if outcome == "ok" and data != payload_for(
+                        obj, self.model.size(obj)
+                    ):
+                        self._violate(
+                            "wrong-bytes",
+                            f"object {obj}: remote read from {others[0]} "
+                            "returned mismatched bytes",
+                        )
+                    elif outcome != "ok":
+                        self._violate(
+                            "unreadable-after-converge",
+                            f"object {obj}: remote read from {others[0]} "
+                            f"-> {outcome}",
+                        )
+            elif state is ObjState.DELETED_CLEAN:
+                outcome, data = self._read(reader, oid)
+                if outcome == "ok":
+                    self._violate(
+                        "resurrection",
+                        f"object {obj}: readable after a clean delete "
+                        "(post-convergence)",
+                    )
+            else:  # MAYBE / DELETED_DIRTY: bytes, if any, must be exact
+                outcome, data = self._read(reader, oid)
+                if outcome == "ok" and data != payload_for(
+                    obj, self.model.size(obj)
+                ):
+                    self._violate(
+                        "wrong-bytes",
+                        f"object {obj}: surviving copy has mismatched bytes",
+                    )
+        self.steps.append(
+            f"sweep: {len(self.model.objects())} objects checked"
+        )
+
+
+# ---------------------------------------------------------------------- entry points
+
+
+def run_seed(seed: int, n_ops: int, *, mutation: str | None = None) -> RunResult:
+    """Generate the trace for ``seed`` and run it."""
+
+    ops = generate_ops(seed, n_ops)
+    return SimulationRunner(seed, mutation=mutation).run(ops)
+
+
+def replay_trace(trace: dict) -> RunResult:
+    """Replay a serialized trace (see :meth:`RunResult.to_trace`)."""
+
+    ops = [Op.from_obj(item) for item in trace["ops"]]
+    runner = SimulationRunner(
+        int(trace.get("seed", 0)), mutation=trace.get("mutation")
+    )
+    return runner.run(ops)
+
+
+@dataclass
+class SweepResult:
+    seeds_run: int
+    n_ops: int
+    failures: list[RunResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.seeds_run} seeds x {self.n_ops} ops: "
+                "no invariant violations"
+            )
+        lines = [
+            f"{self.seeds_run} seeds x {self.n_ops} ops: "
+            f"{len(self.failures)} failing seed(s)"
+        ]
+        for result in self.failures:
+            lines.append(result.report())
+        return "\n".join(lines)
+
+
+def run_seeds(
+    n_seeds: int,
+    n_ops: int,
+    *,
+    base_seed: int = 0,
+    mutation: str | None = None,
+    stop_on_failure: bool = False,
+    progress=None,
+) -> SweepResult:
+    """Schedule explorer: run ``n_seeds`` independent seeded schedules."""
+
+    sweep = SweepResult(seeds_run=0, n_ops=n_ops)
+    for offset in range(n_seeds):
+        seed = base_seed + offset
+        result = run_seed(seed, n_ops, mutation=mutation)
+        sweep.seeds_run += 1
+        if not result.ok:
+            sweep.failures.append(result)
+            if stop_on_failure:
+                break
+        if progress is not None:
+            progress(seed, result)
+    return sweep

@@ -1,0 +1,102 @@
+"""Serializable operation vocabulary for simulation traces.
+
+A trace is a list of :class:`Op` values. Each op is a pure-data record
+(kind + scalar args) so traces round-trip through JSON byte-for-byte,
+which is what makes golden-seed corpora and emitted pytest reproducers
+possible. Every op is *replay-safe*: the harness treats an op whose
+precondition no longer holds (node gone, object unknown, too few live
+nodes) as a recorded no-op instead of an error, so arbitrary sub-slices
+of a trace — as produced by the delta-debugging shrinker — are still
+valid traces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: Op kinds and the argument names each carries. Values are ints or strings.
+OP_SCHEMA: Mapping[str, tuple[str, ...]] = {
+    # Object lifecycle. ``obj`` is a small int mapped to ObjectID.from_int.
+    "put": ("obj", "node", "size", "replicas"),
+    "get": ("obj", "node"),
+    "delete": ("obj",),
+    # Node lifecycle.
+    "add_node": ("node",),
+    "drain": ("node",),
+    "remove": ("node",),
+    "crash": ("node",),
+    "recover": ("node",),
+    # Fault injection (applied through ChaosRuntime at the current time).
+    "partition": ("a", "b"),
+    "heal": ("a", "b"),
+    "degrade": ("a", "b"),
+    "restore": ("a", "b"),
+    "blackhole": ("src", "dst", "ms"),
+    # Maintenance / time.
+    "scrub": ("node",),
+    "rebalance": (),
+    "health": (),
+    "advance": ("ms",),
+}
+
+KINDS = frozenset(OP_SCHEMA)
+
+
+@dataclass(frozen=True)
+class Op:
+    """One trace step: an op kind plus a sorted tuple of (name, value) args."""
+
+    kind: str
+    args: tuple[tuple[str, int | str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        names = tuple(sorted(name for name, _ in self.args))
+        expected = tuple(sorted(OP_SCHEMA[self.kind]))
+        if names != expected:
+            raise ValueError(
+                f"op {self.kind!r} expects args {expected}, got {names}"
+            )
+
+    def __getitem__(self, name: str) -> int | str:
+        for key, value in self.args:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def to_obj(self) -> dict[str, int | str]:
+        out: dict[str, int | str] = {"op": self.kind}
+        out.update(self.args)
+        return out
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, int | str]) -> "Op":
+        data = dict(obj)
+        kind = data.pop("op")
+        if not isinstance(kind, str):
+            raise ValueError(f"op kind must be a string, got {kind!r}")
+        return cls(kind, tuple(sorted(data.items())))
+
+    def format(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.args)
+        return f"{self.kind}({inner})"
+
+
+def make(kind: str, **args: int | str) -> Op:
+    """Build an op with keyword args: ``make("put", obj=0, node="node0", ...)``."""
+
+    return Op(kind, tuple(sorted(args.items())))
+
+
+def ops_to_json(ops: Iterable[Op]) -> str:
+    return json.dumps([op.to_obj() for op in ops], indent=2, sort_keys=True)
+
+
+def ops_from_json(text: str) -> list[Op]:
+    raw = json.loads(text)
+    if not isinstance(raw, list):
+        raise ValueError("trace JSON must be a list of op objects")
+    return [Op.from_obj(item) for item in raw]

@@ -1,0 +1,51 @@
+"""RNG hygiene: test randomness must flow from the shared fixtures.
+
+A test that seeds its own generator inline (``np.random.default_rng(3)``,
+``random.Random(7)``, module-level ``random`` state) produces failures
+that cannot be replayed from one knob. All test randomness must come
+from the ``rng`` / ``np_rng`` conftest fixtures (or a spawn of them), so
+a failing run is reproducible by seed. This meta-test keeps offenders
+from creeping back in.
+"""
+
+import re
+from pathlib import Path
+
+TESTS_ROOT = Path(__file__).resolve().parents[1]
+REPO_ROOT = TESTS_ROOT.parent
+
+#: Patterns that mean "private, inline-seeded (or unseeded) randomness".
+FORBIDDEN = (
+    re.compile(r"np\.random\.default_rng\(\s*\d"),   # inline literal seed
+    re.compile(r"np\.random\.default_rng\(\s*\)"),   # unseeded
+    re.compile(r"\brandom\.Random\("),
+    re.compile(r"\brandom\.seed\("),
+    re.compile(r"\bnp\.random\.(seed|rand|randint|randn|random)\("),
+)
+
+#: Files allowed to construct generators: the fixtures themselves and
+#: this policy test.
+ALLOWED = {"conftest.py", "test_rng_hygiene.py"}
+
+
+def _test_files():
+    for directory in (TESTS_ROOT, REPO_ROOT / "benchmarks"):
+        if directory.is_dir():
+            yield from sorted(directory.rglob("*.py"))
+
+
+def test_no_inline_seeded_randomness_in_tests():
+    offenders = []
+    for path in _test_files():
+        if path.name in ALLOWED:
+            continue
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern in FORBIDDEN:
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "tests must draw randomness from the shared conftest fixtures "
+        "(rng / np_rng), not inline-seeded generators:\n  "
+        + "\n  ".join(offenders)
+    )

@@ -18,6 +18,17 @@ def rng() -> DeterministicRng:
 
 
 @pytest.fixture
+def np_rng(rng):
+    """Shared numpy generator, seeded from the deterministic fixture so
+    every test's randomness is replayable from one place (no bare
+    ``np.random.default_rng(<literal>)`` in test bodies — see
+    docs/testing.md and tests/common/test_rng_hygiene.py)."""
+    import numpy as np
+
+    return np.random.default_rng(rng.spawn("numpy-tests").seed)
+
+
+@pytest.fixture
 def clock() -> SimClock:
     return SimClock()
 

@@ -201,9 +201,8 @@ class TestShuffle:
 
 
 class TestDistributedSort:
-    def test_collect_is_globally_sorted(self, cluster3):
-        rng = np.random.default_rng(3)
-        arrays = [rng.integers(0, 10**9, size=2000) for _ in range(5)]
+    def test_collect_is_globally_sorted(self, cluster3, np_rng):
+        arrays = [np_rng.integers(0, 10**9, size=2000) for _ in range(5)]
         ds = DistributedDataset.from_arrays(cluster3, arrays)
         result = ds.sort(num_partitions=4).collect()
         whole = np.concatenate(arrays)
@@ -221,9 +220,8 @@ class TestDistributedSort:
         assert result.num_partitions == 1
         assert np.array_equal(result.collect(), np.sort(np.concatenate(arrays)))
 
-    def test_sort_balance_is_reasonable(self, cluster3):
-        rng = np.random.default_rng(7)
-        arrays = [rng.integers(0, 10**6, size=3000) for _ in range(4)]
+    def test_sort_balance_is_reasonable(self, cluster3, np_rng):
+        arrays = [np_rng.integers(0, 10**6, size=3000) for _ in range(4)]
         ds = DistributedDataset.from_arrays(cluster3, arrays)
         result = ds.sort(num_partitions=4)
         rows = [p.rows for p in result.partitions]

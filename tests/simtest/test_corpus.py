@@ -1,0 +1,54 @@
+"""Golden-seed regression corpus.
+
+Every trace that ever exposed a bug lives in ``corpus/`` and is replayed
+on every test run. Entries carry an ``expect`` key:
+
+* ``"clean"`` — a real bug fixed in the tree; the trace must stay green.
+* ``"violation"`` — a planted mutation (named in ``mutation``); the
+  harness must keep catching it with the recorded violation ``kind``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simtest.harness import replay_trace
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "golden-seed corpus is missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_trace(path):
+    trace = _load(path)
+    result = replay_trace(trace)
+    if trace["expect"] == "clean":
+        assert result.ok, f"{path.stem} regressed:\n{result.report()}"
+    else:
+        assert not result.ok, (
+            f"{path.stem}: harness no longer catches mutation "
+            f"{trace.get('mutation')!r}"
+        )
+        kinds = {v.kind for v in result.violations}
+        assert trace["kind"] in kinds, (
+            f"{path.stem}: expected violation kind {trace['kind']!r}, "
+            f"got {sorted(kinds)}"
+        )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_traces_stripped_of_mutation_are_clean(path):
+    """The planted-mutation traces must pass on the real (fixed) code —
+    proving each corpus schedule is clean without its mutation."""
+    trace = dict(_load(path))
+    trace.pop("mutation", None)
+    result = replay_trace(trace)
+    assert result.ok, f"{path.stem} without mutation:\n{result.report()}"
