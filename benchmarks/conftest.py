@@ -10,6 +10,8 @@ reports honest wall-clock numbers for this implementation.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench import MicroBenchConfig, run_table
@@ -17,6 +19,24 @@ from repro.bench.specs import PAPER_REPETITIONS
 from repro.common.config import ClusterConfig
 from repro.common.units import MiB
 from repro.core import Cluster
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--emit-bench-json",
+        metavar="DIR",
+        default=None,
+        help="also write BENCH_*.json artifacts for the paper figures "
+             "(Fig 6/7) to DIR, via the same canonical writer the "
+             "workload scenarios use",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_json_dir(request) -> Path | None:
+    """Destination for BENCH_*.json artifacts, or None when not requested."""
+    value = request.config.getoption("--emit-bench-json")
+    return Path(value) if value else None
 
 
 @pytest.fixture(scope="session")

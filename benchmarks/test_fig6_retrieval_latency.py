@@ -16,14 +16,19 @@ import pytest
 from repro.bench.reporting import (
     PAPER_FIG6_LOCAL_MS,
     PAPER_FIG6_REMOTE_MS,
+    fig6_payload,
     format_fig6,
+    write_bench_json,
 )
 
 
-def test_fig6_series(table_results, benchmark):
+def test_fig6_series(table_results, benchmark, bench_json_dir):
     results = table_results
     print()
     print(benchmark.pedantic(lambda: format_fig6(results), rounds=1, iterations=1))
+    if bench_json_dir is not None:
+        payload = fig6_payload(results)
+        print(f"wrote {write_bench_json(bench_json_dir / payload['artifact'], payload)}")
 
     local_ms = [r.local_retrieve_ms_mean for r in results]
     remote_ms = [r.remote_retrieve_ms_mean for r in results]

@@ -17,7 +17,9 @@ import pytest
 from repro.bench.reporting import (
     PAPER_FIG7_LOCAL_GIBPS,
     PAPER_FIG7_REMOTE_GIBPS,
+    fig7_payload,
     format_fig7,
+    write_bench_json,
 )
 from repro.common.units import MiB, gib_per_s
 
@@ -27,10 +29,13 @@ def _spread(dist):
     return (q3 - q1) / dist.median
 
 
-def test_fig7_distributions(table_results, benchmark):
+def test_fig7_distributions(table_results, benchmark, bench_json_dir):
     results = table_results
     print()
     print(benchmark.pedantic(lambda: format_fig7(results), rounds=1, iterations=1))
+    if bench_json_dir is not None:
+        payload = fig7_payload(results)
+        print(f"wrote {write_bench_json(bench_json_dir / payload['artifact'], payload)}")
 
     plateau = [r for r in results if r.spec.index >= 4]
     small = [r for r in results if r.spec.index <= 3]

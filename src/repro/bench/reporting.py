@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from repro.bench.micro import SpecResult
 from repro.bench.specs import TABLE_I
+from repro.workload.report import (  # noqa: F401  (write_bench_json re-exported)
+    BENCH_SCHEMA_VERSION,
+    write_bench_json,
+)
 
 # Fig 6 anchors stated in §V-A (milliseconds). None = not stated in text.
 PAPER_FIG6_LOCAL_MS: dict[int, float | None] = {
@@ -86,6 +90,64 @@ def format_fig7(results: list[SpecResult]) -> str:
                 f"  bench {r.spec.index} {label:>6}: {s.format(unit='GiB/s')}"
             )
     return "\n".join(lines)
+
+
+def _gibps_summary(dist) -> dict:
+    s = dist.summary()
+    return {
+        "count": s.count,
+        "median": round(s.median, 4),
+        "q1": round(s.q1, 4),
+        "q3": round(s.q3, 4),
+        "min": round(s.min, 4),
+        "max": round(s.max, 4),
+    }
+
+
+def fig6_payload(results: list[SpecResult]) -> dict:
+    """BENCH payload for Fig 6 (retrieval latency, measured vs paper).
+
+    Emitted through the same :func:`repro.workload.report.write_bench_json`
+    path as the workload scenarios, so the whole perf trajectory shares
+    one canonical, byte-stable artifact format.
+    """
+    return {
+        "artifact": "BENCH_fig6_retrieval_latency.json",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "figure": "fig6",
+        "specs": {
+            str(r.spec.index): {
+                "num_objects": r.spec.num_objects,
+                "object_size_kb": r.spec.object_size_kb,
+                "local_ms": round(r.local_retrieve_ms_mean, 4),
+                "local_paper_ms": PAPER_FIG6_LOCAL_MS.get(r.spec.index),
+                "remote_ms": round(r.remote_retrieve_ms_mean, 4),
+                "remote_paper_ms": PAPER_FIG6_REMOTE_MS.get(r.spec.index),
+            }
+            for r in results
+        },
+    }
+
+
+def fig7_payload(results: list[SpecResult]) -> dict:
+    """BENCH payload for Fig 7 (read-throughput distributions, GiB/s)."""
+    return {
+        "artifact": "BENCH_fig7_read_throughput.json",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "figure": "fig7",
+        "paper": {
+            "local_plateau_gibps": PAPER_FIG7_LOCAL_GIBPS,
+            "remote_plateau_gibps": PAPER_FIG7_REMOTE_GIBPS,
+            "small_range_gibps": list(PAPER_FIG7_SMALL_RANGE),
+        },
+        "specs": {
+            str(r.spec.index): {
+                "local_gibps": _gibps_summary(r.local.read_gibps),
+                "remote_gibps": _gibps_summary(r.remote.read_gibps),
+            }
+            for r in results
+        },
+    }
 
 
 def format_create_seal(results: list[SpecResult]) -> str:

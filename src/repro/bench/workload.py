@@ -42,35 +42,11 @@ def make_payloads(spec: BenchmarkSpec, rng: DeterministicRng) -> WorkloadData:
     )
 
 
-def zipf_access_sequence(
-    rng: DeterministicRng, n_objects: int, n_accesses: int, s: float = 1.1
-) -> np.ndarray:
-    """Popularity-skewed object indices: P(rank k) ∝ 1/k^s.
-
-    Real big-data object stores see heavily skewed access (a few hot
-    partitions, a long cold tail); the lookup-cache study uses this to
-    measure hit rates beyond the uniform repeated-batch case.
-    Returns ``n_accesses`` indices in ``[0, n_objects)``.
-    """
-    if n_objects <= 0 or n_accesses <= 0:
-        raise ValueError("need positive object and access counts")
-    if s <= 0:
-        raise ValueError("zipf exponent must be positive")
-    ranks = np.arange(1, n_objects + 1, dtype=np.float64)
-    weights = ranks ** (-s)
-    weights /= weights.sum()
-    cumulative = np.cumsum(weights)
-    draws = np.frombuffer(
-        rng.bytes(n_accesses * 8), dtype=np.uint64
-    ).astype(np.float64) / float(2**64)
-    return np.searchsorted(cumulative, draws, side="right").astype(np.int64)
-
-
-def uniform_access_sequence(
-    rng: DeterministicRng, n_objects: int, n_accesses: int
-) -> np.ndarray:
-    """Uniform access indices (the contrast case for the cache study)."""
-    if n_objects <= 0 or n_accesses <= 0:
-        raise ValueError("need positive object and access counts")
-    draws = np.frombuffer(rng.bytes(n_accesses * 8), dtype=np.uint64)
-    return (draws % n_objects).astype(np.int64)
+# Access-sequence generators grew into the traffic plane's popularity
+# models; the canonical implementations live in repro.workload.popularity
+# and are re-exported here unchanged (same signatures, bit-identical draws
+# for the same RNG state) for existing callers.
+from repro.workload.popularity import (  # noqa: E402,F401  (re-export)
+    uniform_access_sequence,
+    zipf_access_sequence,
+)

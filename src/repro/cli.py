@@ -30,6 +30,12 @@ Commands:
   (``--seeds N`` / ``--profile``), a byte-identical replay check for a
   single ``--seed``, and a ``--self-check`` mode that plants a known
   bug and proves the harness catches and shrinks it.
+* ``workload`` — scenario-driven traffic plane: run a committed scenario
+  file (open/closed-loop load, skewed popularity, multi-tenant admission
+  control) against a real cluster and emit the standing
+  ``BENCH_workload_<scenario>.json`` artifact; ``--list`` enumerates
+  scenarios, ``--twice`` proves the artifact is byte-identical across
+  runs.
 """
 
 from __future__ import annotations
@@ -590,6 +596,97 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
     return 0 if sweep.ok else 1
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.workload import load_scenario, run_scenario
+    from repro.workload.report import bench_artifact_name, dumps_bench
+    from repro.workload.scenario import ScenarioError
+
+    if args.list:
+        directory = Path(args.dir)
+        paths = sorted(
+            list(directory.glob("*.json")) + list(directory.glob("*.toml"))
+        )
+        if not paths:
+            print(f"no scenario files under {directory}", file=sys.stderr)
+            return 1
+        for path in paths:
+            try:
+                scenario = load_scenario(path)
+            except ScenarioError as exc:
+                print(f"{path.name}: INVALID ({exc})")
+                continue
+            arrival = scenario.traffic.arrival
+            loop = (
+                f"open {arrival.base_rate_ops_per_s:g}/s"
+                if arrival.mode == "open"
+                else f"closed x{arrival.clients}"
+            )
+            print(
+                f"{scenario.name:<24} {scenario.traffic.ops:>6} ops  "
+                f"{scenario.cluster.n_nodes} nodes  "
+                f"{len(scenario.tenants)} tenant(s)  "
+                f"{scenario.traffic.popularity.model:<8} {loop:<14} "
+                f"- {scenario.description}"
+            )
+        return 0
+
+    if args.scenario is None:
+        print("error: give --scenario PATH (or --list)", file=sys.stderr)
+        return 2
+    try:
+        scenario = load_scenario(args.scenario)
+    except (ScenarioError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else scenario.seed
+
+    def run_once() -> str:
+        _, payload = run_scenario(scenario, seed)
+        return dumps_bench(payload)
+
+    text = run_once()
+    if args.twice:
+        second = run_once()
+        if text != second:
+            print("DETERMINISM FAILURE: two runs produced different "
+                  "artifacts", file=sys.stderr)
+            return 1
+    out_path = Path(args.out) / bench_artifact_name(scenario.name)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(text, encoding="utf-8")
+    payload = json.loads(text)
+    sim = payload["sim"]
+    if args.json:
+        print(text, end="")
+    else:
+        overall = payload["latency_ns"]["overall"]
+        print(
+            f"{scenario.name}: {sim['ops_executed']}/{sim['ops_generated']} "
+            f"ops in {sim['duration_ns'] / 1e6:.2f} sim-ms "
+            f"({sim['ops_per_s']:g} ops/s)"
+        )
+        if overall.get("count"):
+            print(
+                f"  latency p50={overall['p50_ns'] / 1e6:.3f} ms "
+                f"p95={overall['p95_ns'] / 1e6:.3f} ms "
+                f"p99={overall['p99_ns'] / 1e6:.3f} ms"
+            )
+        for tenant, acct in sorted(payload["tenants"].items()):
+            print(
+                f"  tenant {tenant}: admitted={acct['admitted']} "
+                f"rejected={acct['rejected']} "
+                f"(rate {acct['rejection_rate']:.1%}) "
+                f"stored={acct['stored_bytes']} B"
+            )
+        if args.twice:
+            print("  run-twice artifact byte-identical: yes")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -704,6 +801,32 @@ def build_parser() -> argparse.ArgumentParser:
     simtest.add_argument("--emit", metavar="PATH", default=None,
                          help="write the shrunk reproducer as a pytest file")
 
+    workload = sub.add_parser(
+        "workload",
+        help="run a scenario file against a real cluster and emit the "
+             "standing BENCH_workload_<scenario>.json artifact",
+    )
+    workload.add_argument("--scenario", metavar="PATH", default=None,
+                          help="scenario file (.json, or .toml on "
+                               "Python >= 3.11)")
+    workload.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's seed")
+    workload.add_argument("--out", metavar="DIR", default=".",
+                          help="directory for the BENCH artifact "
+                               "(default: cwd)")
+    workload.add_argument("--twice", action="store_true",
+                          help="run twice and fail unless the artifact is "
+                               "byte-identical")
+    workload.add_argument("--json", action="store_true",
+                          help="print the full BENCH payload instead of the "
+                               "summary")
+    workload.add_argument("--list", action="store_true",
+                          help="list scenario files under --dir instead of "
+                               "running")
+    workload.add_argument("--dir", metavar="DIR",
+                          default="benchmarks/scenarios",
+                          help="scenario directory for --list")
+
     return parser
 
 
@@ -717,6 +840,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "topology": _cmd_topology,
     "simtest": _cmd_simtest,
+    "workload": _cmd_workload,
 }
 
 

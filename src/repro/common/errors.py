@@ -85,6 +85,23 @@ class PlacementError(ObjectStoreError):
     (unknown member, bad lifecycle transition, empty ring...)."""
 
 
+class AdmissionRejectedError(ObjectStoreError):
+    """Multi-tenant admission control refused the operation at the client
+    entry point — the tenant is over a byte quota or its token bucket is
+    empty. Carries the tenant and a machine-readable reason so callers
+    (and the workload runner's per-tenant metrics) can discriminate
+    throttling from capacity exhaustion.
+    """
+
+    def __init__(self, tenant: str, reason: str, detail: str = ""):
+        self.tenant = tenant
+        self.reason = reason
+        message = f"tenant {tenant!r} rejected by admission control ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class IntegrityError(ObjectStoreError):
     """Base class for end-to-end data-integrity failures: the bytes a
     descriptor points at do not match what the descriptor promises."""

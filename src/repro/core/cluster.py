@@ -82,6 +82,7 @@ class Cluster:
         fault_plan: FaultPlan | None = None,
         metrics: bool = False,
         placement: bool = False,
+        node_weights: dict[str, float] | None = None,
     ):
         self._config = config or ClusterConfig()
         self._config.validate()
@@ -206,14 +207,21 @@ class Cluster:
                 node.monitor = monitor
 
         # Phase 5: elastic placement (opt-in). Membership starts with every
-        # seed node ACTIVE at weight 1.0; the epoch-1 view is installed on
-        # each store before any client routes a create.
+        # seed node ACTIVE — at weight 1.0, or at the per-node weights a
+        # heterogeneous scenario supplies (a weight-2 node owns twice the
+        # ring, the stand-in for a memory-rich host). The epoch-1 view is
+        # installed on each store before any client routes a create.
         self._membership: Membership | None = None
         self._engine: MigrationEngine | None = None
         self._rebalancer: Rebalancer | None = None
         self._placement_ring: HashRing | None = None
+        if node_weights and not placement:
+            raise ValueError(
+                "node_weights requires placement=True (weights feed the "
+                "consistent-hash ring)"
+            )
         if placement:
-            self._membership = Membership(node_names)
+            self._membership = Membership(node_names, weights=node_weights)
             self._engine = MigrationEngine(self._clock, tracer=tracer)
             pcfg = self._config.placement
             self._rebalancer = Rebalancer(

@@ -17,7 +17,7 @@ build, and the disabled hot path is a single ``is None`` check.
 """
 
 from repro.obs.correlation import CorrelationContext
-from repro.obs.export import Telemetry, render_prometheus
+from repro.obs.export import Telemetry, group_by_label, render_prometheus
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -42,5 +42,6 @@ __all__ = [
     "NULL_REGISTRY",
     "QUANTILES",
     "Telemetry",
+    "group_by_label",
     "render_prometheus",
 ]

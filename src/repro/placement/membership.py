@@ -115,13 +115,30 @@ class Membership:
     the epoch exactly once. Utilization refreshes do *not* bump the epoch —
     they piggyback on the next published change."""
 
-    def __init__(self, names, *, default_weight: float = 1.0):
+    def __init__(
+        self,
+        names,
+        *,
+        default_weight: float = 1.0,
+        weights: "dict[str, float] | None" = None,
+    ):
         names = list(names)
         if not names:
             raise PlacementError("membership needs at least one node")
+        weights = dict(weights or {})
+        unknown = sorted(set(weights) - set(names))
+        if unknown:
+            raise PlacementError(f"weights given for non-members: {unknown}")
+        for name, weight in weights.items():
+            if weight <= 0:
+                raise PlacementError(
+                    f"member {name!r} needs a positive weight, got {weight}"
+                )
         self._epoch = 1
         self._members: dict[str, MemberInfo] = {
-            name: MemberInfo(NodeStatus.ACTIVE, float(default_weight))
+            name: MemberInfo(
+                NodeStatus.ACTIVE, float(weights.get(name, default_weight))
+            )
             for name in names
         }
 

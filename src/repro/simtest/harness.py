@@ -41,6 +41,7 @@ from repro.chaos import (
 from repro.common.clock import NS_PER_MS
 from repro.common.config import ClusterConfig
 from repro.common.errors import (
+    AdmissionRejectedError,
     ObjectCorruptedError,
     ObjectNotFoundError,
     ObjectUnavailableError,
@@ -57,6 +58,7 @@ from repro.simtest import mutations
 from repro.simtest.model import Model, ObjState, metadata_for, payload_for
 from repro.simtest.ops import Op
 from repro.simtest.workload import SEED_NODES, generate_ops
+from repro.workload.admission import AdmissionController, TenantQuota
 
 #: Per-node region size. Large enough that the workload never triggers
 #: eviction (which would invalidate the oracle's LIVE bookkeeping).
@@ -124,6 +126,13 @@ class SimulationRunner:
         self._blackhole_until = 0
         self._epochs: dict[str, int] = {}
         self._clients: dict[str, object] = {}
+        # Admission-control state fuzzed alongside the cluster: set_quota
+        # installs byte quotas, tenant_put routes through admit() first.
+        # Accounting is client-side and approximate on purpose (a crash
+        # wiping a store does not refund the tenant), mirroring how the
+        # workload plane tracks footprint.
+        self.admission = AdmissionController()
+        self._tenant_of: dict[int, tuple[str, int]] = {}
         self.cluster: Cluster | None = None
 
     # ------------------------------------------------------------------ setup
@@ -276,6 +285,44 @@ class SimulationRunner:
         self.model.record_put_ok(obj, size)
         return "ok"
 
+    def _do_set_quota(self, op: Op) -> str:
+        self.admission.set_quota(
+            str(op["tenant"]),
+            TenantQuota(max_stored_bytes=int(op["bytes"])),
+            now_ns=self._now(),
+        )
+        return "ok"
+
+    def _do_tenant_put(self, op: Op) -> str:
+        node = str(op["node"])
+        obj = int(op["obj"])
+        tenant = str(op["tenant"])
+        if node not in self._up():
+            return "skip:node-down"
+        if self.model.state(obj) is not None:
+            return "skip:obj-reused"
+        size = int(op["size"])
+        try:
+            self.admission.admit(tenant, "write", size, self._now())
+        except AdmissionRejectedError as exc:
+            # Refused at the entry point: no cluster work happened, the
+            # model must keep treating the object as never-created.
+            return f"rejected:{exc.reason}"
+        oid = ObjectID.from_int(obj)
+        store = self.cluster.store(node)
+        replicas = min(int(op["replicas"]), 1 + len(store.peers()))
+        try:
+            self._client(node).put_bytes(
+                oid, payload_for(obj, size), metadata_for(obj), replicas=replicas
+            )
+        except ReproError as exc:
+            self.model.record_put_failed(obj, size)
+            return f"fail:{type(exc).__name__}"
+        self.model.record_put_ok(obj, size)
+        self.admission.record_stored(tenant, size)
+        self._tenant_of[obj] = (tenant, size)
+        return "ok"
+
     def _do_get(self, op: Op) -> str:
         node = str(op["node"])
         obj = int(op["obj"])
@@ -374,6 +421,9 @@ class SimulationRunner:
             self.model.record_deleted(obj, clean=False)
             return f"fail:{type(exc).__name__}"
         self.model.record_deleted(obj, clean=clean)
+        owner = self._tenant_of.pop(obj, None)
+        if owner is not None:
+            self.admission.record_stored(owner[0], -owner[1])
         return "ok:clean" if clean else "ok:dirty"
 
     def _do_crash(self, op: Op) -> str:

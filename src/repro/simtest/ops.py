@@ -22,6 +22,11 @@ OP_SCHEMA: Mapping[str, tuple[str, ...]] = {
     "put": ("obj", "node", "size", "replicas"),
     "get": ("obj", "node"),
     "delete": ("obj",),
+    # Multi-tenant admission control (repro.workload.admission) fuzzed
+    # alongside cluster state: tenant_put routes through admit() first, so
+    # a put can be refused by a byte quota installed by set_quota.
+    "set_quota": ("tenant", "bytes"),
+    "tenant_put": ("obj", "node", "size", "replicas", "tenant"),
     # Node lifecycle.
     "add_node": ("node",),
     "drain": ("node",),

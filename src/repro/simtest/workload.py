@@ -21,10 +21,16 @@ _SIZES = (64, 256, 1024, 4096, 8192)
 _REPLICAS = (1, 1, 1, 2, 2, 3)
 _ADVANCE_MS = (1, 2, 5, 10, 60, 300)
 _BLACKHOLE_MS = (1, 5, 20)
+#: Tenants the admission-control ops draw from, and the byte-quota levels
+#: set_quota installs — small enough that a few tenant_puts trip them.
+TENANTS = ("alpha", "beta")
+_QUOTA_BYTES = (1024, 8192, 65536)
 
 #: (kind, weight) — relative frequency of each op kind in the stream.
 WEIGHTS: tuple[tuple[str, int], ...] = (
-    ("put", 24),
+    ("put", 20),
+    ("tenant_put", 6),
+    ("set_quota", 3),
     ("get", 22),
     ("delete", 7),
     ("crash", 4),
@@ -106,6 +112,28 @@ def generate_ops(seed: int, n_ops: int) -> list[Op]:
                     size=int(rng.choice(list(_SIZES))),
                     replicas=int(rng.choice(list(_REPLICAS))),
                 )
+        elif kind == "tenant_put":
+            node = rng.choice(book.up()) if book.up() else None
+            if node is not None:
+                obj = book.next_obj
+                book.next_obj += 1
+                # Approximate: the put may be refused by admission control,
+                # but gets on a never-created id are judged notfound-OK.
+                book.live_objs.append(obj)
+                op = make(
+                    "tenant_put",
+                    obj=obj,
+                    node=str(node),
+                    size=int(rng.choice(list(_SIZES))),
+                    replicas=int(rng.choice(list(_REPLICAS))),
+                    tenant=str(rng.choice(list(TENANTS))),
+                )
+        elif kind == "set_quota":
+            op = make(
+                "set_quota",
+                tenant=str(rng.choice(list(TENANTS))),
+                bytes=int(rng.choice(list(_QUOTA_BYTES))),
+            )
         elif kind == "get":
             if book.live_objs and book.up():
                 # Mostly read known-live objects, sometimes stale/unknown ids.

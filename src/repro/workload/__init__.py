@@ -1,0 +1,65 @@
+"""Scenario-driven traffic plane: load generation against the simulated cluster.
+
+This package turns the repo's perf story from point samples into standing
+benchmarks. A *scenario file* (versioned JSON/TOML, see
+:mod:`repro.workload.scenario`) declares cluster shape, object population,
+tenants with admission quotas, and a traffic model; the deterministic
+:class:`~repro.workload.runner.ScenarioRunner` drives a real
+placement+chaos+RPC :class:`~repro.core.cluster.Cluster` on simulated time
+and emits a byte-stable ``BENCH_workload_<scenario>.json`` artifact with
+ops/s, latency quantiles, per-tenant admission counts and bytes moved.
+
+Layers:
+
+* :mod:`repro.workload.scenario` — frozen, validated scenario schema;
+* :mod:`repro.workload.popularity` — uniform / zipfian / hotspot key skew;
+* :mod:`repro.workload.arrival` — open-loop diurnal Poisson arrivals and
+  closed-loop think-time clients on :class:`SimClock`;
+* :mod:`repro.workload.admission` — per-tenant byte quotas and token-bucket
+  rate limits (typed :class:`AdmissionRejectedError`);
+* :mod:`repro.workload.traffic` — the seeded op-stream generator;
+* :mod:`repro.workload.runner` — executes a scenario against a cluster;
+* :mod:`repro.workload.report` — BENCH artifact payloads.
+"""
+
+from repro.workload.admission import AdmissionController, TenantQuota, TokenBucket
+from repro.workload.arrival import closed_loop_next, open_loop_arrivals
+from repro.workload.popularity import (
+    POPULARITY_MODELS,
+    access_sequence_for,
+    hotspot_access_sequence,
+    uniform_access_sequence,
+    zipf_access_sequence,
+)
+from repro.workload.report import bench_artifact_name, write_bench_json
+from repro.workload.runner import ScenarioRunner, run_scenario
+from repro.workload.scenario import (
+    SCHEMA_VERSION,
+    Scenario,
+    ScenarioError,
+    load_scenario,
+)
+from repro.workload.traffic import WorkloadOp, generate_stream
+
+__all__ = [
+    "AdmissionController",
+    "POPULARITY_MODELS",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRunner",
+    "TenantQuota",
+    "TokenBucket",
+    "WorkloadOp",
+    "access_sequence_for",
+    "bench_artifact_name",
+    "closed_loop_next",
+    "generate_stream",
+    "hotspot_access_sequence",
+    "load_scenario",
+    "open_loop_arrivals",
+    "run_scenario",
+    "uniform_access_sequence",
+    "write_bench_json",
+    "zipf_access_sequence",
+]

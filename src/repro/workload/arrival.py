@@ -1,0 +1,88 @@
+"""Arrival processes on simulated time: when requests enter the system.
+
+Two families, matching the two honest ways to load a system:
+
+* **Open loop** — arrivals are an inhomogeneous Poisson process whose rate
+  follows a diurnal curve; requests arrive whether or not the cluster
+  keeps up, so measured latency includes queueing delay. Generated ahead
+  of time by Lewis–Shedler thinning against the peak rate, a pure function
+  of one :class:`DeterministicRng` stream.
+* **Closed loop** — N concurrent clients, each issuing its next request a
+  think time after the previous one completes. Load is self-limiting, so
+  arrival times can only be resolved *during* the run;
+  :func:`closed_loop_next` is the one-step rule the runner applies.
+
+Times are integer simulated nanoseconds throughout.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.clock import NS_PER_S
+from repro.common.rng import DeterministicRng
+
+
+def diurnal_rate(
+    t_s: float, base_rate_ops_per_s: float, amplitude: float, period_s: float
+) -> float:
+    """Instantaneous arrival rate at time *t_s*.
+
+    ``base * (1 + amplitude * sin(2πt/period))`` — a smooth day/night
+    cycle; ``amplitude`` 0 is a flat Poisson process.
+    """
+    return base_rate_ops_per_s * (
+        1.0 + amplitude * math.sin(2.0 * math.pi * t_s / period_s)
+    )
+
+
+def open_loop_arrivals(
+    rng: DeterministicRng,
+    n: int,
+    base_rate_ops_per_s: float,
+    *,
+    amplitude: float = 0.0,
+    period_s: float = 1.0,
+    start_ns: int = 0,
+) -> list[int]:
+    """*n* arrival timestamps (ns, nondecreasing) from the diurnal curve.
+
+    Lewis–Shedler thinning: candidate gaps are drawn from a homogeneous
+    Poisson process at the peak rate ``base * (1 + amplitude)``; each
+    candidate is kept with probability ``rate(t) / peak``. Exactly the
+    first *n* accepted arrivals are returned, so the draw count — and
+    therefore every later RNG consumer — depends only on (seed, scenario).
+    """
+    if n <= 0:
+        raise ValueError("need a positive arrival count")
+    if base_rate_ops_per_s <= 0:
+        raise ValueError("base rate must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("diurnal amplitude must be in [0, 1)")
+    if period_s <= 0:
+        raise ValueError("diurnal period must be positive")
+    peak = base_rate_ops_per_s * (1.0 + amplitude)
+    t_ns = float(start_ns)
+    out: list[int] = []
+    while len(out) < n:
+        # Exponential gap at the peak rate (inverse CDF on a uniform draw;
+        # the 1-u guard keeps log() finite).
+        u = rng.uniform(0.0, 1.0)
+        gap_s = -math.log(max(1.0 - u, 1e-300)) / peak
+        t_ns += gap_s * NS_PER_S
+        if amplitude == 0.0:
+            out.append(int(t_ns))
+            continue
+        accept = rng.uniform(0.0, 1.0)
+        if accept * peak <= diurnal_rate(t_ns / NS_PER_S,
+                                         base_rate_ops_per_s,
+                                         amplitude, period_s):
+            out.append(int(t_ns))
+    return out
+
+
+def closed_loop_next(completion_ns: int, think_time_us: float) -> int:
+    """The next issue time for a closed-loop client: completion + think."""
+    if think_time_us < 0:
+        raise ValueError("think time cannot be negative")
+    return int(completion_ns) + int(round(think_time_us * 1_000.0))

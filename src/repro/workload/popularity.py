@@ -1,0 +1,126 @@
+"""Key-popularity models: which object a request touches.
+
+Real big-data object stores see heavily skewed access — a few hot
+partitions and a long cold tail — so the traffic plane ships three
+popularity families:
+
+* **uniform** — every key equally likely (the contrast case);
+* **zipfian** — P(rank k) ∝ 1/k^s, the canonical skew model;
+* **hotspot** — a small *hot fraction* of the key space absorbs a fixed
+  *hot weight* of the traffic, uniform within each class (the shape tiered
+  caching and multi-tenant isolation studies care about).
+
+Every generator is a pure function of a :class:`DeterministicRng` stream,
+so the same scenario + seed always yields the same access sequence.
+``zipf_access_sequence`` and ``uniform_access_sequence`` moved here from
+``repro.bench.workload`` (which keeps thin re-exports); draws are
+bit-identical to the pre-move implementation for the same RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import DeterministicRng
+
+
+def _unit_draws(rng: DeterministicRng, n: int) -> np.ndarray:
+    """``n`` uniform floats in [0, 1) from the deterministic byte stream."""
+    return np.frombuffer(rng.bytes(n * 8), dtype=np.uint64).astype(
+        np.float64
+    ) / float(2**64)
+
+
+def zipf_access_sequence(
+    rng: DeterministicRng, n_objects: int, n_accesses: int, s: float = 1.1
+) -> np.ndarray:
+    """Popularity-skewed object indices: P(rank k) ∝ 1/k^s.
+
+    Returns ``n_accesses`` indices in ``[0, n_objects)``.
+    """
+    if n_objects <= 0 or n_accesses <= 0:
+        raise ValueError("need positive object and access counts")
+    if s <= 0:
+        raise ValueError("zipf exponent must be positive")
+    ranks = np.arange(1, n_objects + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    weights /= weights.sum()
+    cumulative = np.cumsum(weights)
+    draws = _unit_draws(rng, n_accesses)
+    return np.searchsorted(cumulative, draws, side="right").astype(np.int64)
+
+
+def uniform_access_sequence(
+    rng: DeterministicRng, n_objects: int, n_accesses: int
+) -> np.ndarray:
+    """Uniform access indices (the contrast case for skew studies)."""
+    if n_objects <= 0 or n_accesses <= 0:
+        raise ValueError("need positive object and access counts")
+    draws = np.frombuffer(rng.bytes(n_accesses * 8), dtype=np.uint64)
+    return (draws % n_objects).astype(np.int64)
+
+
+def hotspot_access_sequence(
+    rng: DeterministicRng,
+    n_objects: int,
+    n_accesses: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+) -> np.ndarray:
+    """Two-class skew: ``hot_weight`` of accesses land uniformly on the
+    first ``ceil(hot_fraction * n_objects)`` keys, the rest uniformly on
+    the cold tail. With one object, everything is hot by construction.
+    """
+    if n_objects <= 0 or n_accesses <= 0:
+        raise ValueError("need positive object and access counts")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    n_hot = max(1, int(np.ceil(hot_fraction * n_objects)))
+    if n_hot >= n_objects:
+        return uniform_access_sequence(rng, n_objects, n_accesses)
+    # Two draws per access (class pick, then index within class) keeps the
+    # sequence a pure function of the stream regardless of class sizes.
+    class_draws = _unit_draws(rng, n_accesses)
+    index_draws = _unit_draws(rng, n_accesses)
+    hot = class_draws < hot_weight
+    n_cold = n_objects - n_hot
+    indices = np.where(
+        hot,
+        (index_draws * n_hot).astype(np.int64),
+        n_hot + (index_draws * n_cold).astype(np.int64),
+    )
+    return np.minimum(indices, n_objects - 1).astype(np.int64)
+
+
+#: Popularity model names the scenario schema accepts.
+POPULARITY_MODELS = ("uniform", "zipfian", "hotspot")
+
+
+def access_sequence_for(
+    model: str,
+    rng: DeterministicRng,
+    n_objects: int,
+    n_accesses: int,
+    *,
+    s: float = 1.1,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+) -> np.ndarray:
+    """Dispatch on a scenario's popularity model name."""
+    if model == "uniform":
+        return uniform_access_sequence(rng, n_objects, n_accesses)
+    if model == "zipfian":
+        return zipf_access_sequence(rng, n_objects, n_accesses, s=s)
+    if model == "hotspot":
+        return hotspot_access_sequence(
+            rng,
+            n_objects,
+            n_accesses,
+            hot_fraction=hot_fraction,
+            hot_weight=hot_weight,
+        )
+    raise ValueError(
+        f"unknown popularity model {model!r}; have {POPULARITY_MODELS}"
+    )

@@ -1,0 +1,134 @@
+"""BENCH artifact emission: the standing perf-trajectory format.
+
+Every scenario run collapses into one ``BENCH_workload_<scenario>.json``
+file: ops/s, exact latency quantiles (overall and per op kind), per-tenant
+admission accounting, bytes moved, and outcome counts. The payload is a
+pure function of (scenario, seed) — values come from simulated time and
+deterministic draws, serialization is canonical (sorted keys, fixed
+indent, trailing newline) — so re-running a scenario must reproduce the
+artifact byte for byte; CI's ``workload-smoke`` job enforces exactly that.
+
+:func:`write_bench_json` is the shared writer: the paper benches (Fig 6/7
+via ``benchmarks/conftest.py --emit-bench-json``) emit their ``BENCH_*``
+artifacts through the same path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.clock import NS_PER_S
+from repro.common.stats import Distribution
+from repro.obs.export import group_by_label
+
+#: Version stamp inside every BENCH payload, bumped on field changes so
+#: trajectory tooling can discriminate.
+BENCH_SCHEMA_VERSION = 1
+
+#: The latency quantiles every BENCH artifact reports (matches repro.obs).
+BENCH_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def bench_artifact_name(scenario_name: str) -> str:
+    return f"BENCH_workload_{scenario_name}.json"
+
+
+def dumps_bench(payload: dict) -> str:
+    """Canonical BENCH serialization: sorted keys, indent 2, newline."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    """Write *payload* canonically to *path*; returns the path written.
+
+    The shared emission point for every ``BENCH_*.json`` in the repo —
+    one serialization, one byte-stability contract.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_bench(payload), encoding="utf-8")
+    return path
+
+
+def latency_block(dist: Distribution) -> dict:
+    """Quantile summary (integer ns) for one latency distribution."""
+    if dist.count == 0:
+        return {"count": 0}
+    return {
+        "count": dist.count,
+        "mean_ns": int(round(dist.mean)),
+        "p50_ns": int(round(dist.quantile(0.5))),
+        "p95_ns": int(round(dist.quantile(0.95))),
+        "p99_ns": int(round(dist.quantile(0.99))),
+        "max_ns": int(round(dist.max)),
+    }
+
+
+def _tenant_latency_block(entry: dict | None) -> dict:
+    """Integer-ns summary from one merged histogram entry (group_by_label)."""
+    if not entry or not entry["count"]:
+        return {"count": 0}
+    return {
+        "count": entry["count"],
+        "mean_ns": int(round(entry["sum"] / entry["count"])),
+        "p50_ns": int(round(entry["quantiles"]["0.5"])),
+        "p95_ns": int(round(entry["quantiles"]["0.95"])),
+        "p99_ns": int(round(entry["quantiles"]["0.99"])),
+        "max_ns": int(round(entry["max"])),
+    }
+
+
+def build_workload_payload(result) -> dict:
+    """The BENCH payload for one :class:`~repro.workload.runner.WorkloadResult`."""
+    duration_s = result.duration_ns / NS_PER_S if result.duration_ns else 0.0
+    executed = result.executed_ops
+    # Per-tenant latency comes out of the obs plane: the runner's labeled
+    # histogram families sliced by the tenant label.
+    by_tenant = (
+        group_by_label([result.registry], "tenant")
+        if result.registry is not None
+        else {}
+    )
+    tenants = {}
+    for tenant, acct in sorted(result.admission.items()):
+        rejected = acct["rejected"]
+        attempted = acct["admitted"] + rejected
+        tenants[tenant] = {
+            "admitted": acct["admitted"],
+            "rejected": rejected,
+            "rejected_by_reason": acct["rejected_by_reason"],
+            "rejection_rate": round(rejected / attempted, 6) if attempted else 0.0,
+            "stored_bytes": acct["stored_bytes"],
+            "latency_ns": _tenant_latency_block(
+                by_tenant.get(tenant, {})
+                .get("histograms", {})
+                .get("workload_op_latency_ns")
+            ),
+        }
+    return {
+        "artifact": bench_artifact_name(result.scenario_name),
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scenario": result.scenario_name,
+        "seed": result.seed,
+        "sim": {
+            "duration_ns": result.duration_ns,
+            "ops_generated": result.generated_ops,
+            "ops_executed": executed,
+            "ops_per_s": round(executed / duration_s, 3) if duration_s else 0.0,
+        },
+        "latency_ns": {
+            "overall": latency_block(result.latency_overall),
+            "by_kind": {
+                kind: latency_block(dist)
+                for kind, dist in sorted(result.latency_by_kind.items())
+            },
+        },
+        "tenants": tenants,
+        "bytes": {
+            "written": result.bytes_written,
+            "read": result.bytes_read,
+            "deleted": result.bytes_deleted,
+        },
+        "outcomes": dict(sorted(result.outcomes.items())),
+    }

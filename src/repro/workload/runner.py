@@ -1,0 +1,352 @@
+"""Deterministic scenario execution against a real cluster.
+
+:class:`ScenarioRunner` stands up a placement+chaos+RPC
+:class:`~repro.core.cluster.Cluster` shaped by the scenario (node count,
+per-node ring weights, link-profile factors, store capacity), preloads the
+object population with tenant ownership, then drives the generated op
+stream on simulated time:
+
+* **open loop** — the clock is advanced to each op's arrival timestamp
+  (offset by preload end); per-op latency is completion minus arrival, so
+  queueing delay when the cluster falls behind is *in* the number;
+* **closed loop** — N logical clients pull ops from the stream as they
+  become ready (completion + think time), scheduled earliest-ready-first.
+
+Every op passes multi-tenant admission first; rejected ops consume no
+cluster work and are tallied per tenant/reason. Writes replace the slot's
+current object (delete old version, put new), deletes empty the slot, and
+scans batch-read consecutive slots. Latencies and outcomes land both in a
+``workload`` :class:`~repro.obs.metrics.MetricsRegistry` (labeled by
+tenant and kind) and in plain distributions the BENCH payload is built
+from. Everything observable is a pure function of (scenario, seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import AdmissionRejectedError, ReproError
+from repro.common.ids import ObjectID
+from repro.common.rng import DeterministicRng
+from repro.common.stats import Distribution
+from repro.common.units import MiB
+from repro.core.cluster import Cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.workload.admission import AdmissionController, TenantQuota
+from repro.workload.arrival import closed_loop_next
+from repro.workload.report import build_workload_payload
+from repro.workload.scenario import Scenario
+from repro.workload.traffic import WorkloadOp, _weighted_names, generate_stream
+
+
+def payload_for(slot: int, version: int, size: int) -> bytes:
+    """Deterministic payload for one slot version (contents don't affect
+    modelled timing; a recognizable fill makes corruption visible)."""
+    return bytes([(slot * 131 + version * 17) % 251]) * size
+
+
+@dataclass
+class _Slot:
+    """Current object behind one key slot."""
+
+    oid_int: int
+    size: int
+    tenant: str
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a scenario run measured (feed to build_workload_payload)."""
+
+    scenario_name: str
+    seed: int
+    generated_ops: int
+    executed_ops: int = 0
+    duration_ns: int = 0
+    latency_overall: Distribution = field(default_factory=Distribution)
+    latency_by_kind: dict[str, Distribution] = field(default_factory=dict)
+    outcomes: dict[str, int] = field(default_factory=dict)
+    bytes_written: int = 0
+    bytes_read: int = 0
+    bytes_deleted: int = 0
+    admission: dict = field(default_factory=dict)
+    registry: MetricsRegistry | None = None
+
+
+def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
+    shape = scenario.cluster
+    link = shape.link
+    config = ClusterConfig(seed=seed).with_store(
+        capacity_bytes=shape.capacity_mib * MiB
+    )
+    fabric = replace(
+        config.fabric,
+        read_bandwidth_bps=config.fabric.read_bandwidth_bps
+        * link.fabric_bandwidth_factor,
+        write_bandwidth_bps=config.fabric.write_bandwidth_bps
+        * link.fabric_bandwidth_factor,
+        added_latency_ns=config.fabric.added_latency_ns
+        * link.fabric_latency_factor,
+        streaming_overhead_ns=config.fabric.streaming_overhead_ns
+        * link.fabric_latency_factor,
+    )
+    rpc = replace(
+        config.rpc,
+        round_trip_ns=config.rpc.round_trip_ns * link.rpc_round_trip_factor,
+    )
+    return replace(config, fabric=fabric, rpc=rpc)
+
+
+class ScenarioRunner:
+    """Execute one scenario deterministically and collect measurements."""
+
+    def __init__(self, scenario: Scenario, seed: int | None = None):
+        self.scenario = scenario
+        self.seed = scenario.seed if seed is None else int(seed)
+        self.registry = MetricsRegistry(node="workload")
+        self.admission = AdmissionController()
+        self.admission.attach_metrics(self.registry)
+        for tenant in scenario.tenants:
+            q = tenant.quota
+            self.admission.set_quota(
+                tenant.name,
+                TenantQuota(
+                    max_stored_bytes=q.max_stored_bytes,
+                    ops_per_s=q.ops_per_s,
+                    burst_ops=q.burst_ops,
+                    write_bytes_per_s=q.write_bytes_per_s,
+                    burst_bytes=q.burst_bytes,
+                ),
+            )
+        self._m_ops = self.registry.counter(
+            "workload_ops_total",
+            "Workload operations by tenant, kind and outcome",
+            labels=("tenant", "kind", "outcome"),
+        )
+        self._m_latency = self.registry.histogram(
+            "workload_op_latency_ns",
+            "Per-op latency (arrival to completion, simulated ns)",
+            labels=("tenant", "kind"),
+        )
+        self._m_bytes = self.registry.counter(
+            "workload_bytes_total",
+            "Payload bytes moved by tenant and direction",
+            labels=("tenant", "direction"),
+        )
+        self.cluster: Cluster | None = None
+        self._slots: dict[int, _Slot] = {}
+        self._next_oid = 0
+        self._clients: list = []
+        self.result = WorkloadResult(
+            scenario_name=scenario.name,
+            seed=self.seed,
+            generated_ops=scenario.traffic.ops,
+            registry=self.registry,
+        )
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_cluster(self) -> Cluster:
+        shape = self.scenario.cluster
+        weights = shape.node_weights()
+        heterogeneous = any(w != 1.0 for w in weights.values())
+        return Cluster(
+            _config_for(self.scenario, self.seed),
+            node_names=list(weights),
+            sharing="rpc",
+            enable_lookup_cache=True,
+            check_remote_uniqueness=False,
+            placement=shape.placement,
+            node_weights=weights if (shape.placement and heterogeneous) else None,
+        )
+
+    def _fresh_oid(self) -> ObjectID:
+        self._next_oid += 1
+        return ObjectID.from_int(self._next_oid)
+
+    def _client(self, index: int):
+        return self._clients[index % len(self._clients)]
+
+    def _preload(self) -> None:
+        """Create the initial population with tenant ownership by weight."""
+        scenario = self.scenario
+        rng = DeterministicRng(self.seed)
+        owners = _weighted_names(
+            rng.spawn("owners"),
+            [(t.name, float(t.weight)) for t in scenario.tenants],
+            scenario.population.objects,
+        )
+        size_rng = rng.spawn("preload-sizes")
+        replicas = scenario.cluster.replicas
+        for slot in range(scenario.population.objects):
+            size = scenario.population.size.draw(size_rng)
+            oid = self._fresh_oid()
+            self._client(slot).put_bytes(
+                oid, payload_for(slot, self._next_oid, size), replicas=replicas
+            )
+            tenant = owners[slot]
+            self._slots[slot] = _Slot(self._next_oid, size, tenant)
+            self.admission.record_stored(tenant, size)
+
+    # ------------------------------------------------------------------ ops
+
+    def _find_holder(self, oid: ObjectID) -> str | None:
+        """Node holding the live sealed primary extent, if any."""
+        for name in self.cluster.node_names():
+            store = self.cluster.store(name)
+            if oid in store.deferred_retires() or store.is_replica(oid):
+                continue
+            with store.table.lock:
+                entry = store.table.lookup(oid)
+                if entry is not None and entry.is_sealed and not entry.quarantined:
+                    return name
+        return None
+
+    def _delete_slot(self, slot: int) -> bool:
+        state = self._slots.pop(slot, None)
+        if state is None:
+            return False
+        oid = ObjectID.from_int(state.oid_int)
+        holder = self._find_holder(oid)
+        if holder is not None:
+            self.cluster.store(holder).delete_object(oid)
+        self.admission.record_stored(state.tenant, -state.size)
+        self.result.bytes_deleted += state.size
+        return True
+
+    def _do_read(self, op: WorkloadOp) -> str:
+        state = self._slots.get(op.slot)
+        if state is None:
+            return "miss"
+        client = self._client(op.seq)
+        oid = ObjectID.from_int(state.oid_int)
+        buffers = client.get([oid], allow_missing=True)
+        if buffers[0] is None:
+            return "miss"
+        try:
+            data = buffers[0].read_all()
+        finally:
+            client.release(oid)
+        self.result.bytes_read += len(data)
+        self._m_bytes.labels(tenant=op.tenant, direction="read").inc(len(data))
+        return "ok"
+
+    def _do_write(self, op: WorkloadOp) -> str:
+        self._delete_slot(op.slot)
+        oid = self._fresh_oid()
+        self._client(op.seq).put_bytes(
+            oid,
+            payload_for(op.slot, self._next_oid, op.size_bytes),
+            replicas=self.scenario.cluster.replicas,
+        )
+        self._slots[op.slot] = _Slot(self._next_oid, op.size_bytes, op.tenant)
+        self.admission.record_stored(op.tenant, op.size_bytes)
+        self.result.bytes_written += op.size_bytes
+        self._m_bytes.labels(tenant=op.tenant, direction="write").inc(
+            op.size_bytes
+        )
+        return "ok"
+
+    def _do_delete(self, op: WorkloadOp) -> str:
+        return "ok" if self._delete_slot(op.slot) else "miss"
+
+    def _do_scan(self, op: WorkloadOp) -> str:
+        n_slots = self.scenario.population.objects
+        oids = []
+        for offset in range(self.scenario.traffic.scan_length):
+            state = self._slots.get((op.slot + offset) % n_slots)
+            if state is not None:
+                oids.append(ObjectID.from_int(state.oid_int))
+        if not oids:
+            return "empty"
+        client = self._client(op.seq)
+        buffers = client.get(oids, allow_missing=True)
+        read = 0
+        for oid, buffer in zip(oids, buffers):
+            if buffer is None:
+                continue
+            try:
+                read += len(buffer.read_all())
+            finally:
+                client.release(oid)
+        self.result.bytes_read += read
+        self._m_bytes.labels(tenant=op.tenant, direction="read").inc(read)
+        return "ok"
+
+    # ------------------------------------------------------------------ run
+
+    def _execute(self, op: WorkloadOp, issue_ns: int) -> None:
+        clock = self.cluster.clock
+        result = self.result
+        try:
+            self.admission.admit(
+                op.tenant, op.kind, op.size_bytes, clock.now_ns
+            )
+        except AdmissionRejectedError as exc:
+            outcome = f"rejected:{exc.reason}"
+            self._m_ops.labels(
+                tenant=op.tenant, kind=op.kind, outcome=outcome
+            ).inc()
+            result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
+            return
+        try:
+            outcome = getattr(self, f"_do_{op.kind}")(op)
+        except ReproError as exc:
+            outcome = f"error:{type(exc).__name__}"
+        latency = clock.now_ns - issue_ns
+        result.executed_ops += 1
+        result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
+        result.latency_overall.add(latency)
+        result.latency_by_kind.setdefault(op.kind, Distribution()).add(latency)
+        self._m_ops.labels(tenant=op.tenant, kind=op.kind, outcome=outcome).inc()
+        self._m_latency.labels(tenant=op.tenant, kind=op.kind).observe(latency)
+
+    def run(self) -> WorkloadResult:
+        scenario = self.scenario
+        self.cluster = self._build_cluster()
+        self._clients = [
+            self.cluster.client(name, client_name=f"wl-{name}")
+            for name in self.cluster.node_names()
+        ]
+        self._preload()
+        ops = generate_stream(scenario, self.seed)
+        clock = self.cluster.clock
+        t0 = clock.now_ns
+
+        arrival = scenario.traffic.arrival
+        if arrival.mode == "open":
+            for op in ops:
+                at = t0 + op.at_ns
+                if clock.now_ns < at:
+                    clock.advance(at - clock.now_ns)
+                self._execute(op, at)
+        else:
+            # Earliest-ready client pulls the next op from the stream.
+            ready = [(t0, client_id) for client_id in range(arrival.clients)]
+            heapq.heapify(ready)
+            for op in ops:
+                ready_ns, client_id = heapq.heappop(ready)
+                if clock.now_ns < ready_ns:
+                    clock.advance(ready_ns - clock.now_ns)
+                self._execute(op, ready_ns)
+                heapq.heappush(
+                    ready,
+                    (
+                        closed_loop_next(clock.now_ns, arrival.think_time_us),
+                        client_id,
+                    ),
+                )
+
+        self.result.duration_ns = clock.now_ns - t0
+        self.result.admission = self.admission.snapshot()
+        return self.result
+
+
+def run_scenario(
+    scenario: Scenario, seed: int | None = None
+) -> tuple[WorkloadResult, dict]:
+    """Run *scenario* and return ``(result, BENCH payload)``."""
+    result = ScenarioRunner(scenario, seed).run()
+    return result, build_workload_payload(result)

@@ -1,0 +1,661 @@
+"""Versioned, seeded scenario files: the traffic plane's input format.
+
+A *scenario* is a declarative description of a whole experiment — cluster
+shape (node count, heterogeneous placement weights, link profile), object
+population (key-space size, payload size distribution), traffic model
+(popularity, op mix, open/closed-loop arrivals) and tenants (weights and
+admission quotas). Scenarios load from JSON (or TOML on Python ≥ 3.11)
+into frozen dataclasses with strict validation: unknown fields and invalid
+values are rejected with the offending path, so a typo in a committed
+scenario fails loudly instead of silently changing the benchmark.
+
+The pair ``(scenario, seed)`` fully determines the generated op stream
+(see :mod:`repro.workload.traffic`) and — because the cluster runs on
+simulated time — the emitted ``BENCH_workload_<name>.json`` artifact, byte
+for byte. That is what makes the standing scenarios under
+``benchmarks/scenarios/`` a perf trajectory rather than a point sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+#: Op kinds a traffic mix may weight.
+MIX_KINDS = ("read", "write", "delete", "scan")
+
+ARRIVAL_MODES = ("open", "closed")
+
+
+class ScenarioError(ValueError):
+    """A scenario file failed validation; the message names the path."""
+
+
+def _fail(path: str, message: str) -> "ScenarioError":
+    return ScenarioError(f"{path}: {message}")
+
+
+def _require_mapping(obj: object, path: str) -> dict:
+    if not isinstance(obj, Mapping):
+        raise _fail(path, f"expected an object/table, got {type(obj).__name__}")
+    return dict(obj)
+
+
+def _check_fields(data: dict, allowed: tuple[str, ...], path: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise _fail(
+            path,
+            f"unknown field(s) {unknown}; allowed: {sorted(allowed)}",
+        )
+
+
+def _number(data: dict, key: str, path: str, default, *, lo=None, hi=None,
+            integer: bool = False):
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(f"{path}.{key}", f"expected a number, got {value!r}")
+    if integer:
+        if int(value) != value:
+            raise _fail(f"{path}.{key}", f"expected an integer, got {value!r}")
+        value = int(value)
+    else:
+        value = float(value)
+    if lo is not None and value < lo:
+        raise _fail(f"{path}.{key}", f"must be >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise _fail(f"{path}.{key}", f"must be <= {hi}, got {value}")
+    return value
+
+
+def _string(data: dict, key: str, path: str, default: str | None = None) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise _fail(f"{path}.{key}", f"expected a string, got {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------------- shape
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """A homogeneous group of nodes within a heterogeneous cluster.
+
+    ``weight`` feeds the consistent-hash ring (a weight-2 node owns twice
+    the key space — the scenario-level stand-in for a memory-rich host).
+    """
+
+    count: int
+    weight: float = 1.0
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "NodeProfile":
+        data = _require_mapping(obj, path)
+        _check_fields(data, ("count", "weight"), path)
+        return cls(
+            count=_number(data, "count", path, None, lo=1, integer=True),
+            weight=_number(data, "weight", path, 1.0, lo=0.001),
+        )
+
+    def to_obj(self) -> dict:
+        return {"count": self.count, "weight": self.weight}
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Fabric/RPC overrides: the scenario's interconnect generation.
+
+    Multipliers scale the calibrated paper defaults, so ``1.0`` everywhere
+    reproduces the IC922 testbed and e.g. ``rpc_round_trip_factor: 0.5``
+    models a faster metadata network without touching calibration.
+    """
+
+    fabric_bandwidth_factor: float = 1.0
+    fabric_latency_factor: float = 1.0
+    rpc_round_trip_factor: float = 1.0
+
+    FIELDS = (
+        "fabric_bandwidth_factor",
+        "fabric_latency_factor",
+        "rpc_round_trip_factor",
+    )
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "LinkProfile":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        return cls(
+            **{
+                name: _number(data, name, path, 1.0, lo=0.001)
+                for name in cls.FIELDS
+            }
+        )
+
+    def to_obj(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+@dataclass(frozen=True)
+class ClusterShape:
+    """How the cluster under test is built."""
+
+    profiles: tuple[NodeProfile, ...] = (NodeProfile(count=3),)
+    capacity_mib: int = 64
+    replicas: int = 1
+    placement: bool = True
+    link: LinkProfile = field(default_factory=LinkProfile)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(p.count for p in self.profiles)
+
+    def node_weights(self) -> dict[str, float]:
+        """node name -> placement weight, profiles laid out in order."""
+        weights: dict[str, float] = {}
+        index = 0
+        for profile in self.profiles:
+            for _ in range(profile.count):
+                weights[f"node{index}"] = profile.weight
+                index += 1
+        return weights
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "ClusterShape":
+        data = _require_mapping(obj, path)
+        _check_fields(
+            data,
+            ("nodes", "node_profiles", "capacity_mib", "replicas",
+             "placement", "link"),
+            path,
+        )
+        if "nodes" in data and "node_profiles" in data:
+            raise _fail(path, "give either 'nodes' or 'node_profiles', not both")
+        if "node_profiles" in data:
+            raw = data["node_profiles"]
+            if not isinstance(raw, list) or not raw:
+                raise _fail(f"{path}.node_profiles", "expected a non-empty list")
+            profiles = tuple(
+                NodeProfile.from_obj(item, f"{path}.node_profiles[{i}]")
+                for i, item in enumerate(raw)
+            )
+        else:
+            profiles = (
+                NodeProfile(
+                    count=_number(data, "nodes", path, 3, lo=2, integer=True)
+                ),
+            )
+        placement = data.get("placement", True)
+        if not isinstance(placement, bool):
+            raise _fail(f"{path}.placement", f"expected a bool, got {placement!r}")
+        shape = cls(
+            profiles=profiles,
+            capacity_mib=_number(
+                data, "capacity_mib", path, 64, lo=1, integer=True
+            ),
+            replicas=_number(data, "replicas", path, 1, lo=1, integer=True),
+            placement=placement,
+            link=LinkProfile.from_obj(data.get("link", {}), f"{path}.link"),
+        )
+        if shape.n_nodes < 2:
+            raise _fail(path, "a disaggregated cluster needs >= 2 nodes")
+        if shape.replicas > shape.n_nodes:
+            raise _fail(
+                f"{path}.replicas",
+                f"{shape.replicas} copies do not fit on {shape.n_nodes} nodes",
+            )
+        if not shape.placement and any(p.weight != 1.0 for p in shape.profiles):
+            raise _fail(
+                f"{path}.node_profiles",
+                "heterogeneous weights need placement: true (weights feed "
+                "the consistent-hash ring)",
+            )
+        return shape
+
+    def to_obj(self) -> dict:
+        return {
+            "node_profiles": [p.to_obj() for p in self.profiles],
+            "capacity_mib": self.capacity_mib,
+            "replicas": self.replicas,
+            "placement": self.placement,
+            "link": self.link.to_obj(),
+        }
+
+
+# --------------------------------------------------------------------------- population
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Payload size model: ``fixed`` bytes, ``uniform`` in [min, max], or
+    ``choice`` over an explicit list (all draws 64-byte-aligned by the
+    store anyway)."""
+
+    dist: str = "fixed"
+    bytes: int = 4096
+    min_bytes: int = 1024
+    max_bytes: int = 16384
+    choices: tuple[int, ...] = ()
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "SizeDistribution":
+        data = _require_mapping(obj, path)
+        _check_fields(
+            data, ("dist", "bytes", "min_bytes", "max_bytes", "choices"), path
+        )
+        dist = _string(data, "dist", path, "fixed")
+        if dist == "fixed":
+            _check_fields(data, ("dist", "bytes"), path)
+            return cls(dist=dist, bytes=_number(data, "bytes", path, 4096, lo=1,
+                                                integer=True))
+        if dist == "uniform":
+            _check_fields(data, ("dist", "min_bytes", "max_bytes"), path)
+            out = cls(
+                dist=dist,
+                min_bytes=_number(data, "min_bytes", path, 1024, lo=1,
+                                  integer=True),
+                max_bytes=_number(data, "max_bytes", path, 16384, lo=1,
+                                  integer=True),
+            )
+            if out.min_bytes > out.max_bytes:
+                raise _fail(path, "min_bytes must be <= max_bytes")
+            return out
+        if dist == "choice":
+            _check_fields(data, ("dist", "choices"), path)
+            raw = data.get("choices")
+            if not isinstance(raw, list) or not raw:
+                raise _fail(f"{path}.choices", "expected a non-empty list")
+            choices = []
+            for i, item in enumerate(raw):
+                if isinstance(item, bool) or not isinstance(item, int) or item < 1:
+                    raise _fail(f"{path}.choices[{i}]",
+                                f"expected a positive integer, got {item!r}")
+                choices.append(item)
+            return cls(dist=dist, choices=tuple(choices))
+        raise _fail(f"{path}.dist",
+                    f"unknown size distribution {dist!r}; "
+                    "have ('fixed', 'uniform', 'choice')")
+
+    def to_obj(self) -> dict:
+        if self.dist == "fixed":
+            return {"dist": "fixed", "bytes": self.bytes}
+        if self.dist == "uniform":
+            return {"dist": "uniform", "min_bytes": self.min_bytes,
+                    "max_bytes": self.max_bytes}
+        return {"dist": "choice", "choices": list(self.choices)}
+
+    def draw(self, rng) -> int:
+        if self.dist == "fixed":
+            return self.bytes
+        if self.dist == "uniform":
+            return int(rng.integer(self.min_bytes, self.max_bytes + 1))
+        return int(rng.choice(list(self.choices)))
+
+    def max_draw(self) -> int:
+        if self.dist == "fixed":
+            return self.bytes
+        if self.dist == "uniform":
+            return self.max_bytes
+        return max(self.choices)
+
+
+@dataclass(frozen=True)
+class Population:
+    """The key space: how many slots exist and how big their payloads are."""
+
+    objects: int = 100
+    size: SizeDistribution = field(default_factory=SizeDistribution)
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "Population":
+        data = _require_mapping(obj, path)
+        _check_fields(data, ("objects", "size"), path)
+        return cls(
+            objects=_number(data, "objects", path, 100, lo=1, integer=True),
+            size=SizeDistribution.from_obj(data.get("size", {}), f"{path}.size"),
+        )
+
+    def to_obj(self) -> dict:
+        return {"objects": self.objects, "size": self.size.to_obj()}
+
+
+# --------------------------------------------------------------------------- traffic
+
+
+@dataclass(frozen=True)
+class Popularity:
+    model: str = "uniform"
+    s: float = 1.1
+    hot_fraction: float = 0.1
+    hot_weight: float = 0.9
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "Popularity":
+        data = _require_mapping(obj, path)
+        model = _string(data, "model", path, "uniform")
+        if model == "uniform":
+            _check_fields(data, ("model",), path)
+            return cls(model=model)
+        if model == "zipfian":
+            _check_fields(data, ("model", "s"), path)
+            return cls(model=model, s=_number(data, "s", path, 1.1, lo=0.01))
+        if model == "hotspot":
+            _check_fields(data, ("model", "hot_fraction", "hot_weight"), path)
+            return cls(
+                model=model,
+                hot_fraction=_number(data, "hot_fraction", path, 0.1,
+                                     lo=0.001, hi=1.0),
+                hot_weight=_number(data, "hot_weight", path, 0.9,
+                                   lo=0.0, hi=1.0),
+            )
+        raise _fail(f"{path}.model",
+                    f"unknown popularity model {model!r}; "
+                    "have ('uniform', 'zipfian', 'hotspot')")
+
+    def to_obj(self) -> dict:
+        if self.model == "uniform":
+            return {"model": "uniform"}
+        if self.model == "zipfian":
+            return {"model": "zipfian", "s": self.s}
+        return {"model": "hotspot", "hot_fraction": self.hot_fraction,
+                "hot_weight": self.hot_weight}
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """When requests enter the system.
+
+    * ``open`` — arrivals are an inhomogeneous Poisson process whose rate
+      follows a diurnal curve ``base * (1 + amplitude * sin(2πt/period))``;
+      requests arrive whether or not the system keeps up, so latency
+      includes queueing delay (the honest production shape).
+    * ``closed`` — ``clients`` concurrent clients, each issuing the next
+      request ``think_time_us`` after the previous one completes; load is
+      self-limiting (the classic benchmark-harness shape).
+    """
+
+    mode: str = "open"
+    base_rate_ops_per_s: float = 5000.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 1.0
+    clients: int = 4
+    think_time_us: float = 100.0
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "Arrival":
+        data = _require_mapping(obj, path)
+        mode = _string(data, "mode", path, "open")
+        if mode == "open":
+            _check_fields(
+                data,
+                ("mode", "base_rate_ops_per_s", "diurnal_amplitude",
+                 "diurnal_period_s"),
+                path,
+            )
+            return cls(
+                mode=mode,
+                base_rate_ops_per_s=_number(
+                    data, "base_rate_ops_per_s", path, 5000.0, lo=0.001
+                ),
+                diurnal_amplitude=_number(
+                    data, "diurnal_amplitude", path, 0.0, lo=0.0, hi=0.99
+                ),
+                diurnal_period_s=_number(
+                    data, "diurnal_period_s", path, 1.0, lo=0.000001
+                ),
+            )
+        if mode == "closed":
+            _check_fields(data, ("mode", "clients", "think_time_us"), path)
+            return cls(
+                mode=mode,
+                clients=_number(data, "clients", path, 4, lo=1, integer=True),
+                think_time_us=_number(
+                    data, "think_time_us", path, 100.0, lo=0.0
+                ),
+            )
+        raise _fail(f"{path}.mode",
+                    f"unknown arrival mode {mode!r}; have {ARRIVAL_MODES}")
+
+    def to_obj(self) -> dict:
+        if self.mode == "open":
+            return {
+                "mode": "open",
+                "base_rate_ops_per_s": self.base_rate_ops_per_s,
+                "diurnal_amplitude": self.diurnal_amplitude,
+                "diurnal_period_s": self.diurnal_period_s,
+            }
+        return {"mode": "closed", "clients": self.clients,
+                "think_time_us": self.think_time_us}
+
+
+@dataclass(frozen=True)
+class Traffic:
+    ops: int = 1000
+    mix: tuple[tuple[str, int], ...] = (
+        ("read", 70), ("write", 20), ("delete", 5), ("scan", 5)
+    )
+    scan_length: int = 8
+    popularity: Popularity = field(default_factory=Popularity)
+    arrival: Arrival = field(default_factory=Arrival)
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "Traffic":
+        data = _require_mapping(obj, path)
+        _check_fields(
+            data, ("ops", "mix", "scan_length", "popularity", "arrival"), path
+        )
+        mix_data = _require_mapping(
+            data.get("mix", {"read": 70, "write": 20, "delete": 5, "scan": 5}),
+            f"{path}.mix",
+        )
+        _check_fields(mix_data, MIX_KINDS, f"{path}.mix")
+        mix = tuple(
+            (kind, _number(mix_data, kind, f"{path}.mix", 0, lo=0, integer=True))
+            for kind in MIX_KINDS
+        )
+        if sum(w for _, w in mix) <= 0:
+            raise _fail(f"{path}.mix", "op mix weights must sum to > 0")
+        return cls(
+            ops=_number(data, "ops", path, 1000, lo=1, integer=True),
+            mix=mix,
+            scan_length=_number(data, "scan_length", path, 8, lo=2,
+                                integer=True),
+            popularity=Popularity.from_obj(
+                data.get("popularity", {}), f"{path}.popularity"
+            ),
+            arrival=Arrival.from_obj(data.get("arrival", {}), f"{path}.arrival"),
+        )
+
+    def to_obj(self) -> dict:
+        return {
+            "ops": self.ops,
+            "mix": {kind: weight for kind, weight in self.mix},
+            "scan_length": self.scan_length,
+            "popularity": self.popularity.to_obj(),
+            "arrival": self.arrival.to_obj(),
+        }
+
+
+# --------------------------------------------------------------------------- tenants
+
+
+@dataclass(frozen=True)
+class QuotaSpec:
+    """Admission limits for one tenant; ``None`` means unlimited."""
+
+    max_stored_bytes: int | None = None
+    ops_per_s: float | None = None
+    burst_ops: int = 32
+    write_bytes_per_s: float | None = None
+    burst_bytes: int = 1 << 20
+
+    FIELDS = ("max_stored_bytes", "ops_per_s", "burst_ops",
+              "write_bytes_per_s", "burst_bytes")
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "QuotaSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        out = {}
+        for name in ("max_stored_bytes", "ops_per_s", "write_bytes_per_s"):
+            if data.get(name) is not None:
+                out[name] = _number(
+                    data, name, path, None, lo=1,
+                    integer=(name == "max_stored_bytes"),
+                )
+        out["burst_ops"] = _number(data, "burst_ops", path, 32, lo=1,
+                                   integer=True)
+        out["burst_bytes"] = _number(data, "burst_bytes", path, 1 << 20, lo=1,
+                                     integer=True)
+        return cls(**out)
+
+    def to_obj(self) -> dict:
+        out: dict = {"burst_ops": self.burst_ops, "burst_bytes": self.burst_bytes}
+        for name in ("max_stored_bytes", "ops_per_s", "write_bytes_per_s"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    name: str
+    weight: int = 1
+    quota: QuotaSpec = field(default_factory=QuotaSpec)
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "TenantSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, ("name", "weight", "quota"), path)
+        name = _string(data, "name", path)
+        if not _NAME_RE.match(name):
+            raise _fail(f"{path}.name", f"invalid tenant name {name!r}")
+        return cls(
+            name=name,
+            weight=_number(data, "weight", path, 1, lo=1, integer=True),
+            quota=QuotaSpec.from_obj(data.get("quota", {}), f"{path}.quota"),
+        )
+
+    def to_obj(self) -> dict:
+        return {"name": self.name, "weight": self.weight,
+                "quota": self.quota.to_obj()}
+
+
+# --------------------------------------------------------------------------- scenario
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified, seedable workload."""
+
+    name: str
+    description: str = ""
+    seed: int = 2022
+    cluster: ClusterShape = field(default_factory=ClusterShape)
+    population: Population = field(default_factory=Population)
+    traffic: Traffic = field(default_factory=Traffic)
+    tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
+
+    FIELDS = ("schema_version", "name", "description", "seed", "cluster",
+              "population", "traffic", "tenants")
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str = "scenario") -> "Scenario":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        version = _number(data, "schema_version", path, SCHEMA_VERSION,
+                          integer=True)
+        if version != SCHEMA_VERSION:
+            raise _fail(f"{path}.schema_version",
+                        f"unsupported version {version} (this build reads "
+                        f"{SCHEMA_VERSION})")
+        name = _string(data, "name", path)
+        if not _NAME_RE.match(name):
+            raise _fail(f"{path}.name",
+                        f"invalid scenario name {name!r} (lowercase "
+                        "letters/digits/._- only; it names the artifact file)")
+        tenants_raw = data.get("tenants", [{"name": "default"}])
+        if not isinstance(tenants_raw, list) or not tenants_raw:
+            raise _fail(f"{path}.tenants", "expected a non-empty list")
+        tenants = tuple(
+            TenantSpec.from_obj(item, f"{path}.tenants[{i}]")
+            for i, item in enumerate(tenants_raw)
+        )
+        if len({t.name for t in tenants}) != len(tenants):
+            raise _fail(f"{path}.tenants", "tenant names must be unique")
+        scenario = cls(
+            name=name,
+            description=_string(data, "description", path, ""),
+            seed=_number(data, "seed", path, 2022, lo=0, integer=True),
+            cluster=ClusterShape.from_obj(
+                data.get("cluster", {}), f"{path}.cluster"
+            ),
+            population=Population.from_obj(
+                data.get("population", {}), f"{path}.population"
+            ),
+            traffic=Traffic.from_obj(data.get("traffic", {}), f"{path}.traffic"),
+            tenants=tenants,
+        )
+        if scenario.traffic.scan_length > scenario.population.objects:
+            raise _fail(f"{path}.traffic.scan_length",
+                        "scan_length cannot exceed the population size")
+        return scenario
+
+    def to_obj(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "cluster": self.cluster.to_obj(),
+            "population": self.population.to_obj(),
+            "traffic": self.traffic.to_obj(),
+            "tenants": [t.to_obj() for t in self.tenants],
+        }
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return dataclasses.replace(self, seed=int(seed))
+
+    def dumps(self) -> str:
+        """Canonical JSON (sorted keys, trailing newline) — byte-stable."""
+        return json.dumps(self.to_obj(), indent=2, sort_keys=True) + "\n"
+
+
+def loads(text: str, *, fmt: str = "json") -> Scenario:
+    """Parse scenario *text* (``fmt``: ``json`` or ``toml``)."""
+    if fmt == "json":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario is not valid JSON: {exc}") from exc
+        return Scenario.from_obj(raw)
+    if fmt == "toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # Python 3.10: no stdlib TOML
+            raise ScenarioError(
+                "TOML scenarios need Python >= 3.11 (stdlib tomllib); "
+                "convert to JSON or upgrade"
+            ) from exc
+        try:
+            raw = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"scenario is not valid TOML: {exc}") from exc
+        return Scenario.from_obj(raw)
+    raise ScenarioError(f"unknown scenario format {fmt!r}")
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load a scenario file; the suffix picks the format (.json / .toml)."""
+    path = Path(path)
+    fmt = "toml" if path.suffix.lower() == ".toml" else "json"
+    return loads(path.read_text(encoding="utf-8"), fmt=fmt)

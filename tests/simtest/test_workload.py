@@ -23,9 +23,10 @@ def test_covers_all_interesting_kinds():
     for seed in range(12):
         seen |= {op.kind for op in generate_ops(seed, 200)}
     assert {
-        "put", "get", "delete", "crash", "recover", "partition", "heal",
-        "degrade", "restore", "blackhole", "add_node", "drain", "remove",
-        "scrub", "rebalance", "health", "advance",
+        "put", "tenant_put", "set_quota", "get", "delete", "crash",
+        "recover", "partition", "heal", "degrade", "restore", "blackhole",
+        "add_node", "drain", "remove", "scrub", "rebalance", "health",
+        "advance",
     } <= seen
 
 
@@ -35,7 +36,7 @@ def test_put_before_get_for_same_object():
     for seed in range(5):
         put_ids = set()
         for op in generate_ops(seed, 200):
-            if op.kind == "put":
+            if op.kind in ("put", "tenant_put"):
                 put_ids.add(op["obj"])
             elif op.kind == "get":
                 assert op["obj"] <= max(put_ids)

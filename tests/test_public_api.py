@@ -71,6 +71,9 @@ class TestSubpackageDocs:
             "repro.columnar",
             "repro.dataset",
             "repro.bench",
+            "repro.placement",
+            "repro.simtest",
+            "repro.workload",
         ],
     )
     def test_every_subpackage_documents_itself(self, module_name):

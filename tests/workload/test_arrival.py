@@ -1,0 +1,105 @@
+"""Arrival processes on simulated time: open-loop curves and closed-loop
+think time."""
+
+import pytest
+
+from repro.common.clock import NS_PER_S, SimClock
+from repro.common.rng import DeterministicRng
+from repro.workload.arrival import (
+    closed_loop_next,
+    diurnal_rate,
+    open_loop_arrivals,
+)
+
+
+class TestOpenLoop:
+    def test_count_monotone_and_integer(self):
+        times = open_loop_arrivals(DeterministicRng(1), 500, 1000.0)
+        assert len(times) == 500
+        assert all(isinstance(t, int) for t in times)
+        assert times == sorted(times)
+
+    def test_flat_rate_matches_target(self):
+        n = 4000
+        times = open_loop_arrivals(DeterministicRng(2), n, 1000.0)
+        measured = n / (times[-1] / NS_PER_S)
+        assert measured == pytest.approx(1000.0, rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = open_loop_arrivals(DeterministicRng(7), 200, 500.0, amplitude=0.5)
+        b = open_loop_arrivals(DeterministicRng(7), 200, 500.0, amplitude=0.5)
+        c = open_loop_arrivals(DeterministicRng(8), 200, 500.0, amplitude=0.5)
+        assert a == b
+        assert a != c
+
+    def test_diurnal_curve_modulates_density(self):
+        """With a strong diurnal swing, the peak half-period must hold
+        visibly more arrivals than the trough half-period."""
+        period = 2.0
+        times = open_loop_arrivals(
+            DeterministicRng(3), 3000, 1000.0, amplitude=0.9, period_s=period
+        )
+        # rate(t) = base * (1 + A sin(2πt/period)): first half-period is the
+        # peak, second half the trough.
+        def in_phase(t_ns, lo_frac, hi_frac):
+            phase = (t_ns / NS_PER_S) % period / period
+            return lo_frac <= phase < hi_frac
+
+        peak = sum(1 for t in times if in_phase(t, 0.0, 0.5))
+        trough = sum(1 for t in times if in_phase(t, 0.5, 1.0))
+        assert peak > 2 * trough
+
+    def test_start_offset(self):
+        base = open_loop_arrivals(DeterministicRng(4), 50, 100.0)
+        offset = open_loop_arrivals(DeterministicRng(4), 50, 100.0, start_ns=1000)
+        assert offset == [t + 1000 for t in base]
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            open_loop_arrivals(DeterministicRng(1), 10, 100.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            open_loop_arrivals(DeterministicRng(1), 10, 100.0, amplitude=-0.1)
+
+    def test_arrivals_drive_a_sim_clock(self):
+        clock = SimClock()
+        for t in open_loop_arrivals(DeterministicRng(5), 20, 200.0):
+            if clock.now_ns < t:
+                clock.advance(t - clock.now_ns)
+        assert clock.now_ns > 0
+
+
+class TestDiurnalRate:
+    def test_flat_when_amplitude_zero(self):
+        assert diurnal_rate(0.3, 100.0, 0.0, 1.0) == 100.0
+
+    def test_peaks_at_quarter_period(self):
+        assert diurnal_rate(0.25, 100.0, 0.5, 1.0) == pytest.approx(150.0)
+        assert diurnal_rate(0.75, 100.0, 0.5, 1.0) == pytest.approx(50.0)
+
+
+class TestClosedLoop:
+    def test_think_time_added(self):
+        assert closed_loop_next(1_000_000, 100.0) == 1_000_000 + 100_000
+
+    def test_zero_think_time(self):
+        assert closed_loop_next(42, 0.0) == 42
+
+    def test_closed_vs_open_loop_shape(self):
+        """Sanity contrast: open-loop timestamps are fixed ahead of time;
+        the closed-loop schedule depends only on completions + think time,
+        so under an idle (instant-completion) model N clients with think
+        time T issue at N/T ops/s regardless of any configured rate."""
+        clock = SimClock()
+        think_us = 100.0
+        completions = []
+        ready = [0] * 4  # four clients, all ready at t=0
+        for _ in range(100):
+            ready.sort()
+            t = ready.pop(0)
+            if clock.now_ns < t:
+                clock.advance(t - clock.now_ns)
+            completions.append(clock.now_ns)  # op completes instantly
+            ready.append(closed_loop_next(clock.now_ns, think_us))
+        rate = len(completions) / (clock.now_ns / NS_PER_S)
+        # 4 clients / 100 us think time = 40k ops/s.
+        assert rate == pytest.approx(40_000, rel=0.05)

@@ -1,0 +1,80 @@
+"""The `python -m repro workload` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.workload.conftest import mini_obj
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    path = tmp_path / "mini.json"
+    path.write_text(json.dumps(mini_obj()), encoding="utf-8")
+    return path
+
+
+class TestRun:
+    def test_run_writes_artifact(self, scenario_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        rc = main([
+            "workload", "--scenario", str(scenario_file), "--out", str(out),
+        ])
+        assert rc == 0
+        artifact = out / "BENCH_workload_mini.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["scenario"] == "mini"
+        assert "ops_per_s" in payload["sim"]
+        captured = capsys.readouterr().out
+        assert "mini" in captured
+        assert "wrote" in captured
+
+    def test_twice_flag_checks_determinism(self, scenario_file, tmp_path, capsys):
+        rc = main([
+            "workload", "--scenario", str(scenario_file),
+            "--out", str(tmp_path / "out"), "--twice",
+        ])
+        assert rc == 0
+        assert "byte-identical: yes" in capsys.readouterr().out
+
+    def test_seed_override_lands_in_artifact(self, scenario_file, tmp_path):
+        out = tmp_path / "out"
+        assert main([
+            "workload", "--scenario", str(scenario_file),
+            "--out", str(out), "--seed", "99",
+        ]) == 0
+        payload = json.loads(
+            (out / "BENCH_workload_mini.json").read_text(encoding="utf-8")
+        )
+        assert payload["seed"] == 99
+
+    def test_json_mode_prints_the_payload(self, scenario_file, tmp_path, capsys):
+        assert main([
+            "workload", "--scenario", str(scenario_file),
+            "--out", str(tmp_path), "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["scenario"] == "mini"
+
+
+class TestList:
+    def test_lists_committed_scenarios(self, capsys):
+        assert main(["workload", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uniform-smoke", "zipfian-read-heavy",
+                     "hotspot-multi-tenant", "diurnal-churn"):
+            assert name in out
+
+    def test_lists_custom_dir_and_flags_invalid(self, tmp_path, capsys):
+        (tmp_path / "good.json").write_text(
+            json.dumps(mini_obj(name="good")), encoding="utf-8"
+        )
+        (tmp_path / "bad.json").write_text("{\"nope\": 1}", encoding="utf-8")
+        assert main(["workload", "--list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "good" in out
+        assert "INVALID" in out

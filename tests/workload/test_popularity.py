@@ -1,0 +1,85 @@
+"""Popularity models, including the dedupe contract with repro.bench.
+
+The zipf/uniform implementations moved from ``repro.bench.workload`` to
+``repro.workload.popularity``; the bench names are now thin re-exports.
+The golden sequences below were captured from the *pre-refactor*
+implementation, so any silent behavior change in the move fails here.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bench.workload as bench_workload
+from repro.common.rng import DeterministicRng
+from repro.workload.popularity import (
+    POPULARITY_MODELS,
+    access_sequence_for,
+    hotspot_access_sequence,
+    uniform_access_sequence,
+    zipf_access_sequence,
+)
+
+# Captured from repro.bench.workload before the move (seed 7, 50 objects,
+# 16 accesses).
+GOLDEN_ZIPF_7 = [6, 28, 14, 0, 1, 24, 0, 18, 16, 3, 1, 1, 0, 2, 3, 4]
+GOLDEN_UNIFORM_7 = [43, 25, 36, 14, 1, 22, 28, 5, 32, 43, 46, 15, 26, 30, 38, 29]
+
+
+class TestDedupeContract:
+    def test_zipf_matches_pre_refactor_golden(self):
+        seq = zipf_access_sequence(DeterministicRng(7), 50, 16, s=1.1)
+        assert list(seq) == GOLDEN_ZIPF_7
+
+    def test_uniform_matches_pre_refactor_golden(self):
+        seq = uniform_access_sequence(DeterministicRng(7), 50, 16)
+        assert list(seq) == GOLDEN_UNIFORM_7
+
+    def test_bench_names_are_the_same_objects(self):
+        assert bench_workload.zipf_access_sequence is zipf_access_sequence
+        assert bench_workload.uniform_access_sequence is uniform_access_sequence
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 123, 2022])
+    def test_bench_and_workload_draws_identical(self, seed):
+        old = bench_workload.zipf_access_sequence(
+            DeterministicRng(seed), 200, 64, s=1.1
+        )
+        new = zipf_access_sequence(DeterministicRng(seed), 200, 64, s=1.1)
+        assert np.array_equal(old, new)
+        old_u = bench_workload.uniform_access_sequence(DeterministicRng(seed), 200, 64)
+        new_u = uniform_access_sequence(DeterministicRng(seed), 200, 64)
+        assert np.array_equal(old_u, new_u)
+
+
+class TestModels:
+    def test_zipf_is_skewed_toward_low_slots(self):
+        seq = zipf_access_sequence(DeterministicRng(3), 100, 5000, s=1.2)
+        # Slot 0 must dominate any mid-range slot under a zipfian law.
+        counts = np.bincount(seq, minlength=100)
+        assert counts[0] > 3 * counts[50]
+
+    def test_uniform_covers_the_range(self):
+        seq = uniform_access_sequence(DeterministicRng(3), 10, 2000)
+        assert set(seq) == set(range(10))
+
+    def test_hotspot_concentrates_on_hot_set(self):
+        seq = hotspot_access_sequence(
+            DeterministicRng(3), 100, 2000, hot_fraction=0.1, hot_weight=0.9
+        )
+        hot_hits = int(np.sum(seq < 10))
+        assert 0.85 <= hot_hits / 2000 <= 0.95
+        assert seq.min() >= 0 and seq.max() < 100
+
+    def test_hotspot_degenerates_to_uniform_when_all_hot(self):
+        a = hotspot_access_sequence(DeterministicRng(5), 8, 64, hot_fraction=1.0)
+        b = uniform_access_sequence(DeterministicRng(5), 8, 64)
+        assert np.array_equal(a, b)
+
+    def test_dispatch_covers_every_model(self):
+        for model in POPULARITY_MODELS:
+            seq = access_sequence_for(model, DeterministicRng(9), 20, 30)
+            assert len(seq) == 30
+            assert seq.min() >= 0 and seq.max() < 20
+
+    def test_dispatch_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            access_sequence_for("pareto", DeterministicRng(9), 20, 30)

@@ -1,0 +1,137 @@
+"""Scenario schema: round-trip, validation, and loader behavior."""
+
+import json
+import sys
+
+import pytest
+
+from repro.workload import Scenario, ScenarioError, load_scenario
+from repro.workload.scenario import loads
+
+from tests.workload.conftest import mini_obj
+
+
+class TestRoundTrip:
+    def test_from_obj_to_obj_round_trips(self):
+        scenario = Scenario.from_obj(mini_obj())
+        again = Scenario.from_obj(scenario.to_obj())
+        assert again == scenario
+
+    def test_dumps_loads_round_trips(self):
+        scenario = Scenario.from_obj(mini_obj())
+        assert loads(scenario.dumps()) == scenario
+
+    def test_defaults_are_materialized_on_dump(self):
+        obj = Scenario.from_obj(mini_obj()).to_obj()
+        assert obj["schema_version"] == 1
+        assert obj["cluster"]["replicas"] == 1
+        assert obj["traffic"]["arrival"]["mode"] == "open"
+
+    def test_with_seed(self):
+        scenario = Scenario.from_obj(mini_obj())
+        assert scenario.with_seed(99).seed == 99
+        assert scenario.seed == 11  # frozen original untouched
+
+    def test_load_scenario_from_file(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(mini_obj()), encoding="utf-8")
+        assert load_scenario(path).name == "mini"
+
+    def test_committed_scenarios_all_load(self):
+        from pathlib import Path
+
+        files = sorted(Path("benchmarks/scenarios").glob("*.json"))
+        assert len(files) >= 3
+        for path in files:
+            scenario = load_scenario(path)
+            assert scenario.name == path.stem
+
+
+class TestRejection:
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ScenarioError, match="unknown field"):
+            Scenario.from_obj(mini_obj(bogus=1))
+
+    def test_unknown_nested_field_names_the_path(self):
+        obj = mini_obj()
+        obj["traffic"]["arrival"]["warp_speed"] = True
+        with pytest.raises(ScenarioError, match="arrival"):
+            Scenario.from_obj(obj)
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(ScenarioError, match="schema_version"):
+            Scenario.from_obj(mini_obj(schema_version=99))
+
+    def test_bad_name(self):
+        with pytest.raises(ScenarioError, match="name"):
+            Scenario.from_obj(mini_obj(name="Has Spaces!"))
+
+    def test_duplicate_tenant_names(self):
+        obj = mini_obj()
+        obj["tenants"] = [{"name": "a"}, {"name": "a"}]
+        with pytest.raises(ScenarioError, match="tenant"):
+            Scenario.from_obj(obj)
+
+    def test_single_node_cluster_rejected(self):
+        obj = mini_obj()
+        obj["cluster"]["nodes"] = 1
+        with pytest.raises(ScenarioError):
+            Scenario.from_obj(obj)
+
+    def test_replicas_cannot_exceed_nodes(self):
+        obj = mini_obj()
+        obj["cluster"]["replicas"] = 5
+        with pytest.raises(ScenarioError, match="replicas"):
+            Scenario.from_obj(obj)
+
+    def test_negative_rate_rejected(self):
+        obj = mini_obj()
+        obj["traffic"]["arrival"]["base_rate_ops_per_s"] = -1
+        with pytest.raises(ScenarioError):
+            Scenario.from_obj(obj)
+
+    def test_bad_mix_kind_rejected(self):
+        obj = mini_obj()
+        obj["traffic"]["mix"] = {"read": 1, "teleport": 1}
+        with pytest.raises(ScenarioError, match="mix"):
+            Scenario.from_obj(obj)
+
+    def test_bad_size_distribution(self):
+        obj = mini_obj()
+        obj["population"]["size"] = {"dist": "pareto"}
+        with pytest.raises(ScenarioError, match="dist"):
+            Scenario.from_obj(obj)
+
+    def test_non_mapping_input(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_obj([1, 2, 3])
+
+
+class TestFormats:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ScenarioError, match="format"):
+            loads("{}", fmt="yaml")
+
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="tomllib is 3.11+")
+    def test_toml_loads(self):
+        text = """
+name = "toml-mini"
+seed = 5
+
+[cluster]
+nodes = 2
+
+[population]
+objects = 8
+
+[traffic]
+ops = 10
+"""
+        scenario = loads(text, fmt="toml")
+        assert scenario.name == "toml-mini"
+        assert scenario.cluster.n_nodes == 2
+
+    @pytest.mark.skipif(sys.version_info >= (3, 11), reason="gating path")
+    def test_toml_gated_below_311(self):
+        with pytest.raises(ScenarioError, match="toml"):
+            loads("name = 'x'", fmt="toml")

@@ -1,0 +1,70 @@
+"""Op-stream generation: determinism and scenario plumbing."""
+
+from repro.workload import Scenario, generate_stream
+
+from tests.workload.conftest import mini_obj
+
+
+class TestDeterminism:
+    def test_same_scenario_same_seed_identical_stream(self, mini_scenario):
+        a = generate_stream(mini_scenario)
+        b = generate_stream(mini_scenario)
+        assert a == b
+        # Byte-identical, not merely equal.
+        assert repr(a) == repr(b)
+
+    def test_seed_override_changes_stream(self, mini_scenario):
+        assert generate_stream(mini_scenario, 1) != generate_stream(
+            mini_scenario, 2
+        )
+        assert generate_stream(mini_scenario, 1) == generate_stream(
+            mini_scenario.with_seed(1)
+        )
+
+
+class TestPlumbing:
+    def test_stream_shape(self, mini_scenario):
+        ops = generate_stream(mini_scenario)
+        assert len(ops) == mini_scenario.traffic.ops
+        assert [op.seq for op in ops] == list(range(len(ops)))
+        n_slots = mini_scenario.population.objects
+        for op in ops:
+            assert 0 <= op.slot < n_slots
+            assert op.kind in ("read", "write", "delete", "scan")
+            assert op.tenant in ("alpha", "beta")
+
+    def test_open_loop_timestamps_nondecreasing(self, mini_scenario):
+        at = [op.at_ns for op in generate_stream(mini_scenario)]
+        assert all(isinstance(t, int) for t in at)
+        assert at == sorted(at)
+
+    def test_closed_loop_has_no_timestamps(self):
+        obj = mini_obj()
+        obj["traffic"]["arrival"] = {
+            "mode": "closed", "clients": 3, "think_time_us": 50,
+        }
+        ops = generate_stream(Scenario.from_obj(obj))
+        assert all(op.at_ns is None for op in ops)
+
+    def test_only_writes_carry_sizes(self, mini_scenario):
+        for op in generate_stream(mini_scenario):
+            if op.kind == "write":
+                assert op.size_bytes == 2048  # the fixed size model
+            else:
+                assert op.size_bytes == 0
+
+    def test_tenant_weights_respected(self):
+        obj = mini_obj()
+        obj["traffic"]["ops"] = 2000
+        ops = generate_stream(Scenario.from_obj(obj))
+        alpha = sum(1 for op in ops if op.tenant == "alpha")
+        # alpha weight 3, beta weight 1 -> ~75 % alpha.
+        assert 0.68 <= alpha / len(ops) <= 0.82
+
+    def test_mix_weights_respected(self):
+        obj = mini_obj()
+        obj["traffic"]["ops"] = 2000
+        ops = generate_stream(Scenario.from_obj(obj))
+        reads = sum(1 for op in ops if op.kind == "read")
+        # 60/100 of the mix.
+        assert 0.53 <= reads / len(ops) <= 0.67
