@@ -33,6 +33,7 @@ from repro.chaos.plan import (
     LinkRestore,
     NodeCrash,
     NodeRestart,
+    OverloadBurst,
     RpcBlackhole,
 )
 from repro.chaos.runtime import ChaosRuntime
@@ -48,5 +49,6 @@ __all__ = [
     "LinkRestore",
     "RpcBlackhole",
     "BitFlip",
+    "OverloadBurst",
     "ChaosRuntime",
 ]

@@ -155,6 +155,29 @@ class BitFlip(FaultEvent):
 
 
 @dataclass(frozen=True)
+class OverloadBurst(FaultEvent):
+    """Inject ``backlog_ms`` of queued work into *node*'s request queue:
+    models a stall — a GC pause, a compaction, a noisy neighbour's burst —
+    that the server's admission model then drains at its service rate,
+    shedding (RESOURCE_EXHAUSTED) whatever the bounded queue cannot hold.
+
+    Targeted, not synthesised: :meth:`FaultPlan.random` never draws one,
+    because a meaningful burst size depends on the service rate and queue
+    depth the experiment configured.
+    """
+
+    node: str = ""
+    backlog_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValueError("OverloadBurst needs a node name")
+        if self.backlog_ms <= 0:
+            raise ValueError("OverloadBurst needs a positive backlog")
+
+
+@dataclass(frozen=True)
 class RpcBlackhole(FaultEvent):
     """RPC attempts from *src* to *dst* are silently dropped for
     ``duration_ns`` (no response; the caller waits out its timeout).
@@ -262,7 +285,7 @@ class FaultPlan:
         known = set(node_names)
         for event in self._events:
             names: list[str] = []
-            if isinstance(event, (NodeCrash, NodeRestart, BitFlip)):
+            if isinstance(event, (NodeCrash, NodeRestart, BitFlip, OverloadBurst)):
                 names = [event.node]
             elif isinstance(event, _LinkEvent):
                 names = [event.node_a, event.node_b]

@@ -31,6 +31,7 @@ from repro.chaos.plan import (
     LinkRestore,
     NodeCrash,
     NodeRestart,
+    OverloadBurst,
     RpcBlackhole,
 )
 
@@ -164,6 +165,11 @@ class ChaosRuntime:
             if region is not None:
                 view = region.view(event.offset, 1)
                 view[0] ^= 1 << event.bit
+        elif isinstance(event, OverloadBurst):
+            server = self._servers.get(event.node)
+            overload = getattr(server, "overload", None)
+            if overload is not None:
+                overload.add_backlog(event.backlog_ms * 1e6)
         else:  # pragma: no cover - plan validation prevents this
             raise TypeError(f"unknown fault event {event!r}")
 

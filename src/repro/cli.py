@@ -681,6 +681,17 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 f"(rate {acct['rejection_rate']:.1%}) "
                 f"stored={acct['stored_bytes']} B"
             )
+        overload = payload.get("overload")
+        if overload is not None:
+            queue = overload["queue_depth"]
+            depth = (
+                f"queue p99={queue['p99']}" if queue.get("count") else "queue idle"
+            )
+            print(
+                f"  overload: goodput={overload['goodput_ops_per_s']:g} ops/s "
+                f"(in-deadline {overload['in_deadline_ops']}) "
+                f"shed rate {overload['shed_rate']:.1%} {depth}"
+            )
         if args.twice:
             print("  run-twice artifact byte-identical: yes")
     print(f"wrote {out_path}")

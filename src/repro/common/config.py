@@ -130,6 +130,20 @@ class RpcConfig:
     # DEADLINE_EXCEEDED. 0 disables (calls wait indefinitely — the paper's
     # blocking unary configuration).
     default_deadline_ns: float = 0.0
+    # --- client-side overload taming (repro.rpc.overload) ---
+    # Retry budget: a per-channel token bucket capping retry amplification.
+    # Every retry (transport failure, UNAVAILABLE, or a RESOURCE_EXHAUSTED
+    # shed) spends one token; an exhausted budget fails the call fast with
+    # the last error instead of storming an already-overloaded peer.
+    # 0 disables (unlimited retries up to max_retries — the legacy shape).
+    retry_budget_per_s: float = 0.0
+    retry_budget_burst: int = 10
+    # Hedged reads: after the per-channel latency quantile below, a replica
+    # read that has not completed is abandoned (cancelled) and re-issued at
+    # another holder. 0 disables hedging; no hedging happens until the
+    # channel has observed hedge_min_samples completed calls.
+    hedge_quantile: float = 0.0
+    hedge_min_samples: int = 20
 
 
 @dataclass(frozen=True)
@@ -260,6 +274,46 @@ class PlacementConfig:
 
 
 @dataclass(frozen=True)
+class OverloadConfig:
+    """Server-side admission control (repro.rpc.overload).
+
+    Models the finite request-servicing capacity of a store's gRPC thread.
+    Defaults model the paper's assumption — infinite capacity — so nothing
+    changes unless a service rate (or an injected overload burst) makes the
+    server finite: then queueing delay appears in observed latency and the
+    bounded queue sheds with RESOURCE_EXHAUSTED instead of queueing forever.
+    """
+
+    # Requests the server can service per simulated second. 0 disables the
+    # whole admission model (infinite capacity, the pre-overload behaviour).
+    service_rate_ops_per_s: float = 0.0
+    # Bounded request queue: a request arriving with this many requests
+    # already waiting is shed with RESOURCE_EXHAUSTED. 0 = unbounded (the
+    # queue grows without limit — the "collapse" control in benchmarks).
+    queue_depth: int = 64
+    # 'fifo' services in arrival order; 'lifo' lets a fresh arrival jump the
+    # queue under pressure (newest-first adaptive discipline: recent
+    # requests still have deadline budget left, the backlogged ones are
+    # probably already being retried).
+    queue_discipline: str = "fifo"
+    # Shed work whose propagated deadline budget is already spent, or that
+    # cannot possibly finish within it given the current backlog, before
+    # doing any servicing work for it.
+    shed_expired: bool = True
+
+    def validate(self) -> None:
+        if self.service_rate_ops_per_s < 0:
+            raise ValueError("service_rate_ops_per_s must be non-negative")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if self.queue_discipline not in ("fifo", "lifo"):
+            raise ValueError(
+                f"unknown queue discipline {self.queue_discipline!r}; "
+                "have ('fifo', 'lifo')"
+            )
+
+
+@dataclass(frozen=True)
 class StoreConfig:
     """Plasma store behaviour knobs."""
 
@@ -312,6 +366,7 @@ class ClusterConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
     placement: PlacementConfig = field(default_factory=PlacementConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     # Fraction of each node's store capacity carved out as the local
     # disaggregated region (paper: "a portion of local system memory is
     # marked as disaggregated").
@@ -350,6 +405,15 @@ class ClusterConfig:
         self.health.validate()
         self.chaos.validate()
         self.placement.validate()
+        self.overload.validate()
+        if self.rpc.retry_budget_per_s < 0:
+            raise ValueError("retry_budget_per_s must be non-negative")
+        if self.rpc.retry_budget_burst < 1:
+            raise ValueError("retry_budget_burst must be >= 1")
+        if not 0.0 <= self.rpc.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in [0, 1)")
+        if self.rpc.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
         for bw_name, bw in (
             ("local read", self.local_memory.read_bandwidth_bps),
             ("local write", self.local_memory.write_bandwidth_bps),

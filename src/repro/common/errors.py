@@ -171,3 +171,23 @@ class RpcStatusError(RpcError):
         self.code = code
         self.detail = detail
         super().__init__(f"RPC failed with status {code}: {detail}")
+
+
+class ServerOverloadedError(RpcStatusError):
+    """The server shed this request under overload (RESOURCE_EXHAUSTED):
+    its bounded request queue was full, or the propagated deadline budget
+    made the work not worth starting. Shedding is load control, not peer
+    death — the peer is alive and answering — so callers should back off
+    (the channel's retry budget gates how hard) rather than fail over.
+
+    Subclasses :class:`RpcStatusError` with a fixed RESOURCE_EXHAUSTED
+    code so existing ``except RpcStatusError`` / ``exc.code`` handling
+    keeps working unchanged.
+    """
+
+    def __init__(self, detail: str = ""):
+        # Imported here to keep repro.common free of an rpc-layer import
+        # cycle (repro.rpc.status imports nothing back).
+        from repro.rpc.status import StatusCode
+
+        super().__init__(StatusCode.RESOURCE_EXHAUSTED, detail)

@@ -40,6 +40,7 @@ from repro.placement.migrate import MigrationEngine
 from repro.placement.rebalance import Rebalancer
 from repro.placement.ring import HashRing
 from repro.rpc.channel import Channel
+from repro.rpc.overload import OverloadModel
 from repro.rpc.server import RpcServer
 from repro.rpc.status import StatusCode
 from repro.thymesisflow.fabric import ThymesisFabric
@@ -282,6 +283,12 @@ class Cluster:
         server = RpcServer(name)
         server.tracer = self._tracer
         server.clock = self._clock
+        # Every server carries an admission model so chaos bursts and
+        # runtime rate changes work on any cluster; at the default config
+        # (rate 0, no backlog) it is inert and dispatch keeps its fast path.
+        server.overload = OverloadModel(
+            self._clock, self._config.overload, name=name
+        )
         server.add_service(StoreService(store))
         ipc = IpcChannel(
             self._clock, self._config.ipc, self._rng.spawn("ipc", name)
@@ -571,7 +578,10 @@ class Cluster:
                 if exc.code in (
                     StatusCode.UNAVAILABLE,
                     StatusCode.DEADLINE_EXCEEDED,
+                    StatusCode.RESOURCE_EXHAUSTED,
                 ):
+                    # Down, silent, or shedding under overload: skip — the
+                    # member catches up via pull on recovery.
                     continue
                 raise
         return view
@@ -591,6 +601,7 @@ class Cluster:
                 if exc.code in (
                     StatusCode.UNAVAILABLE,
                     StatusCode.DEADLINE_EXCEEDED,
+                    StatusCode.RESOURCE_EXHAUSTED,
                 ):
                     continue
                 raise

@@ -226,6 +226,15 @@ class HealthMonitor:
             try:
                 health.stub.Heartbeat({"from": self._node})
             except RpcStatusError as exc:
+                if exc.code is StatusCode.RESOURCE_EXHAUSTED:
+                    # The peer shed our heartbeat under overload — but a
+                    # shed is an *answer*: the process is alive. Treating
+                    # it as a miss would let saturation masquerade as
+                    # death and trigger spurious failover.
+                    self.counters.inc("heartbeats_shed")
+                    health.last_ack_ns = self._clock.now_ns
+                    probed[name] = True
+                    continue
                 if exc.code in (
                     StatusCode.UNAVAILABLE,
                     StatusCode.DEADLINE_EXCEEDED,

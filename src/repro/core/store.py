@@ -33,10 +33,12 @@ from repro.common.errors import (
     ObjectNotFoundError,
     ObjectStoreError,
     ObjectUnavailableError,
+    ServerOverloadedError,
 )
 from repro.common.ids import ObjectID
 from repro.core.lookup_cache import LookupCache
 from repro.core.remote import PeerHandle, RemoteObjectRecord
+from repro.rpc.overload import DeadlineBudget
 from repro.placement.membership import TopologyView
 from repro.placement.ring import HashRing
 from repro.memory.host import MemoryRegion
@@ -289,13 +291,19 @@ class DisaggregatedStore(PlasmaStore):
         mv = memoryview(data)
         if mv.ndim != 1 or mv.itemsize != 1:
             mv = mv.cast("B")
+        # One budget for the whole forwarded create: PlacedSeal is issued
+        # with whatever the PlacedCreate hop and fabric write left of the
+        # channel's default deadline, so a slow first hop shrinks the
+        # second instead of resetting it.
+        budget = DeadlineBudget.for_stub(handle.stub, self.clock)
         try:
             response = handle.stub.PlacedCreate(
                 {
                     "object_id": object_id.binary(),
                     "data_size": len(mv),
                     "metadata": bytes(metadata),
-                }
+                },
+                **budget.kwargs(),
             )
         except RpcStatusError as exc:
             if exc.code is StatusCode.ALREADY_EXISTS:
@@ -310,7 +318,8 @@ class DisaggregatedStore(PlasmaStore):
         handle.remote_region.write(offset, mv)
         try:
             handle.stub.PlacedSeal(
-                {"object_id": object_id.binary(), "replicas": int(replicas)}
+                {"object_id": object_id.binary(), "replicas": int(replicas)},
+                **budget.kwargs(),
             )
         except RpcStatusError as exc:
             if self._peer_unavailable(home, exc):
@@ -694,37 +703,109 @@ class DisaggregatedStore(PlasmaStore):
         """One batched Lookup per peer until everything resolves; returns
         the ids nobody claimed. Peers whose metadata plane cannot answer
         (down, breaker-open, past deadline) are skipped and collected into
-        *unreachable*."""
+        *unreachable*; so is a peer shedding under overload — its objects
+        may well exist, so unresolved ids surface as the typed outage
+        rather than not-found.
+
+        When hedging is configured on the channels, a non-final peer is
+        only waited on for the hedge delay (a configured quantile of that
+        channel's observed latency): on expiry the sweep abandons the
+        attempt (the cancellation) and moves straight to the next holder.
+        A sweep that still has unresolved ids afterwards retries the
+        hedged (slow, not dead) peers once with the full deadline —
+        hedging trades tail latency for duplicate work, never
+        availability."""
         remaining = list(object_ids)
-        for name in self.peers():
+        peers = self.peers()
+        hedged: list[str] = []
+        for index, name in enumerate(peers):
             if not remaining:
                 break
-            payload = {"object_ids": [oid.binary() for oid in remaining]}
-            try:
-                response = self._peers[name].stub.Lookup(payload)
-            except RpcStatusError as exc:
-                # A down peer's objects are unreachable by lookup (their
-                # bytes survive in exposed memory, but nobody can resolve
-                # ids to offsets) — skip it and keep serving. An open
-                # circuit breaker takes this same path, at ~1 us instead
-                # of a full timed-out round trip.
-                if self._peer_unavailable(name, exc):
-                    if unreachable is not None:
-                        unreachable.append(name)
-                    continue
-                raise
-            self.counters.inc("lookup_rpcs")
-            found = response.get("found", [])
-            claimed: set[ObjectID] = set()
-            for descriptor in found:
-                record = RemoteObjectRecord.from_descriptor(name, descriptor)
-                self._remote_records[record.object_id] = record
-                if self._lookup_cache is not None:
-                    self._lookup_cache.put(record)
-                resolved[record.object_id] = record
-                claimed.add(record.object_id)
-            remaining = [oid for oid in remaining if oid not in claimed]
+            hedge_ns = None
+            if index < len(peers) - 1:
+                channel = getattr(self._peers[name].stub, "channel", None)
+                if channel is not None and hasattr(channel, "hedge_delay_ns"):
+                    hedge_ns = channel.hedge_delay_ns()
+            remaining = self._lookup_peer(
+                name, remaining, resolved, unreachable, hedged, hedge_ns
+            )
+        if remaining and hedged:
+            self.counters.inc("lookup_hedge_losses")
+            for name in hedged:
+                if not remaining:
+                    break
+                remaining = self._lookup_peer(
+                    name, remaining, resolved, unreachable, None, None
+                )
         return remaining
+
+    def _lookup_peer(
+        self,
+        name: str,
+        remaining: list[ObjectID],
+        resolved: dict[ObjectID, RemoteObjectRecord],
+        unreachable: list[str] | None,
+        hedged: list[str] | None,
+        hedge_ns: float | None,
+    ) -> list[ObjectID]:
+        """Probe one peer with a batched Lookup (optionally clamped to the
+        hedge delay); returns the ids it did not claim."""
+        payload = {"object_ids": [oid.binary() for oid in remaining]}
+        stub = self._peers[name].stub
+        try:
+            if hedge_ns is not None:
+                response = stub.Lookup(payload, deadline_ns=hedge_ns)
+            else:
+                response = stub.Lookup(payload)
+        except ServerOverloadedError:
+            if hedge_ns is not None and hedged is not None:
+                # Shed *under the hedge clamp*: the server refused work it
+                # could not finish inside the hedge window. That is the
+                # hedge firing, not an outage — the peer stays eligible
+                # for the full-deadline retry after the sweep.
+                self.counters.inc("lookup_hedges_fired")
+                hedged.append(name)
+                return remaining
+            # The peer is alive but shedding load; back off rather than
+            # fail over (the channel's breaker/retry budget already did
+            # their part).
+            self.counters.inc("lookups_shed")
+            if unreachable is not None:
+                unreachable.append(name)
+            return remaining
+        except RpcStatusError as exc:
+            if hedge_ns is not None and exc.code is StatusCode.DEADLINE_EXCEEDED:
+                # The hedge fired: this peer is slow, not dead — it is NOT
+                # marked unreachable. The sweep hedges to the next holder;
+                # this abandoned attempt is the cancelled one.
+                self.counters.inc("lookup_hedges_fired")
+                hedged.append(name)
+                return remaining
+            # A down peer's objects are unreachable by lookup (their
+            # bytes survive in exposed memory, but nobody can resolve
+            # ids to offsets) — skip it and keep serving. An open
+            # circuit breaker takes this same path, at ~1 us instead
+            # of a full timed-out round trip.
+            if self._peer_unavailable(name, exc):
+                if unreachable is not None:
+                    unreachable.append(name)
+                return remaining
+            raise
+        self.counters.inc("lookup_rpcs")
+        found = response.get("found", [])
+        claimed: set[ObjectID] = set()
+        for descriptor in found:
+            record = RemoteObjectRecord.from_descriptor(name, descriptor)
+            self._remote_records[record.object_id] = record
+            if self._lookup_cache is not None:
+                self._lookup_cache.put(record)
+            resolved[record.object_id] = record
+            claimed.add(record.object_id)
+        if hedged and claimed:
+            # An answer arrived from a holder reached only because an
+            # earlier hedge fired — the hedge won the race.
+            self.counters.inc("lookup_hedge_wins")
+        return [oid for oid in remaining if oid not in claimed]
 
     def _hashmap_lookup(
         self,

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.common.errors import RpcStatusError
 from repro.common.ids import ObjectID
 from repro.obs.metrics import CounterGroup
+from repro.rpc.overload import DeadlineBudget
 from repro.rpc.status import StatusCode
 
 
@@ -104,6 +105,9 @@ class MigrationEngine:
             for name in source_store.replica_locations(object_id)
             if name != dest_name
         ]
+        # One deadline budget for the whole pull: the commit gets whatever
+        # the prepare (which includes the fabric transfer) left over.
+        budget = DeadlineBudget.for_stub(stub, self._clock)
         try:
             prepared = stub.MigratePrepare(
                 {
@@ -113,16 +117,24 @@ class MigrationEngine:
                     "data_size": descriptor["data_size"],
                     "metadata": descriptor["metadata"],
                     "holders": holders,
-                }
+                },
+                **budget.kwargs(),
             )
             state = prepared.get("state", "prepared")
             if state != "sealed":
-                stub.MigrateCommit({"object_id": object_id.binary()})
+                stub.MigrateCommit(
+                    {"object_id": object_id.binary()}, **budget.kwargs()
+                )
         except RpcStatusError as exc:
-            if exc.code in (StatusCode.UNAVAILABLE, StatusCode.DEADLINE_EXCEEDED):
-                # Destination died or partitioned mid-protocol. The source
-                # copy stays published; a half-pulled destination extent is
-                # unsealed and will be reclaimed by restart recovery.
+            if exc.code in (
+                StatusCode.UNAVAILABLE,
+                StatusCode.DEADLINE_EXCEEDED,
+                StatusCode.RESOURCE_EXHAUSTED,
+            ):
+                # Destination died, partitioned, or shed us under overload
+                # mid-protocol. The source copy stays published; a
+                # half-pulled destination extent is unsealed and will be
+                # reclaimed by restart recovery.
                 self.counters.inc("migrations_aborted")
                 return MigrationResult(
                     object_id, source, dest_name, "aborted", detail=str(exc)

@@ -35,14 +35,25 @@ from __future__ import annotations
 
 from repro.common.clock import SimClock
 from repro.common.config import RpcConfig
-from repro.common.errors import RpcError, RpcStatusError
+from repro.common.errors import RpcError, RpcStatusError, ServerOverloadedError
 from repro.common.rng import DeterministicRng
+from repro.common.stats import Distribution
 from repro.obs.metrics import CounterGroup
 from repro.rpc.codec import decode_message, encode_message
+from repro.rpc.overload import RetryBudget
 from repro.rpc.server import RpcServer
 from repro.rpc.status import StatusCode
 
-_FAILURE_CODES = (StatusCode.UNAVAILABLE, StatusCode.DEADLINE_EXCEEDED)
+# Outcomes that count against the circuit breaker: the peer is down,
+# unreachable, or shedding load. RESOURCE_EXHAUSTED is deliberately in the
+# list — a breaker that opens under sustained shedding stops the caller
+# hammering a saturated peer, which is the backpressure the server's
+# bounded queue is asking for.
+_FAILURE_CODES = (
+    StatusCode.UNAVAILABLE,
+    StatusCode.DEADLINE_EXCEEDED,
+    StatusCode.RESOURCE_EXHAUSTED,
+)
 
 
 class Channel:
@@ -73,6 +84,15 @@ class Channel:
         self.counters = CounterGroup()
         self._latency = None  # per-(peer, method) histogram family
         self._closed = False
+        # Retry amplification cap: a token bucket on simulated time shared
+        # by every call on this channel. Rate 0 (default) disables the gate.
+        self._retry_budget = RetryBudget(
+            clock, config.retry_budget_per_s, config.retry_budget_burst
+        )
+        # Client-observed latency samples feeding the hedged-read delay
+        # quantile. Only collected when hedging is configured, so the
+        # default path allocates nothing per call.
+        self._latency_samples = Distribution()
 
     def attach_metrics(self, registry) -> None:
         """Bind call counters, per-method latency, and breaker state."""
@@ -100,6 +120,25 @@ class Channel:
     @property
     def breaker(self):
         return self._breaker
+
+    @property
+    def retry_budget(self) -> RetryBudget:
+        return self._retry_budget
+
+    @property
+    def default_deadline_ns(self) -> float:
+        """The configured per-call deadline (0 = none) — the budget a
+        multi-hop operation starts from (see DeadlineBudget.for_stub)."""
+        return self._config.default_deadline_ns
+
+    def hedge_delay_ns(self) -> float | None:
+        """How long to wait on a read before hedging to another holder:
+        the configured quantile of this channel's observed call latency.
+        None until hedging is configured and enough samples exist."""
+        q = self._config.hedge_quantile
+        if q <= 0 or self._latency_samples.count < self._config.hedge_min_samples:
+            return None
+        return float(self._latency_samples.quantile(q))
 
     def close(self) -> None:
         self._closed = True
@@ -201,7 +240,8 @@ class Channel:
             raise RpcError(f"channel to {self._server.host} is closed")
         self._breaker_admit()
         deadline = self._effective_deadline(deadline_ns)
-        start_ns = self._clock.now_ns if self._latency is not None else 0
+        track = self._latency is not None or self._config.hedge_quantile > 0
+        start_ns = self._clock.now_ns if track else 0
         try:
             if self._tracer is not None:
                 args = {}
@@ -228,6 +268,9 @@ class Channel:
             self._breaker_record(exc)
             raise
         self._observe_latency(method, start_ns)
+        if self._config.hedge_quantile > 0:
+            # Successful-call latency feeds the hedge-delay quantile.
+            self._latency_samples.add(self._clock.now_ns - start_ns)
         self._breaker_record(None)
         return response
 
@@ -284,6 +327,14 @@ class Channel:
                     if self._correlation is not None
                     else None
                 ),
+                # The grpc-timeout header: the budget *left*, not the
+                # original deadline, so a forwarded/retried call tells the
+                # server how much patience actually remains.
+                deadline_ns=(
+                    deadline_ns - (self._clock.now_ns - start_ns)
+                    if deadline_ns is not None
+                    else None
+                ),
             )
             self._advance_within_deadline(
                 self._cost_ns(len(wire_request), len(wire_response)),
@@ -300,6 +351,22 @@ class Channel:
                 if last:
                     self.counters.inc("calls_failed")
                     raise RpcStatusError(status, detail)
+                self._gate_retry(RpcStatusError(status, detail))
+                self.counters.inc("retries")
+                self._advance_within_deadline(
+                    self._backoff_ns(attempt), start_ns, deadline_ns
+                )
+                continue
+            if status is StatusCode.RESOURCE_EXHAUSTED:
+                # The server shed us under overload. Retryable — the peer is
+                # alive — but every retry spends retry budget, so a storm
+                # of shed calls fails fast instead of amplifying the load.
+                self.counters.inc("attempts_shed")
+                err = ServerOverloadedError(detail)
+                if last:
+                    self.counters.inc("calls_failed")
+                    raise err
+                self._gate_retry(err)
                 self.counters.inc("retries")
                 self._advance_within_deadline(
                     self._backoff_ns(attempt), start_ns, deadline_ns
@@ -310,6 +377,19 @@ class Channel:
                 raise RpcStatusError(status, detail)
             return decode_message(wire_response)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _gate_retry(self, exc: RpcStatusError) -> None:
+        """Spend one retry token or fail the call fast with *exc*.
+
+        The per-channel token bucket caps retry amplification: once the
+        budget is dry, a failed attempt surfaces immediately instead of
+        piling more attempts onto a peer that is already struggling.
+        """
+        if self._retry_budget.try_spend():
+            return
+        self.counters.inc("retries_suppressed")
+        self.counters.inc("calls_failed")
+        raise exc
 
     def _fail_attempt(
         self,
@@ -329,6 +409,11 @@ class Channel:
             raise RpcStatusError(
                 StatusCode.UNAVAILABLE, f"{detail} ({attempts} attempts)"
             )
+        self._gate_retry(
+            RpcStatusError(
+                StatusCode.UNAVAILABLE, f"{detail} (retry budget exhausted)"
+            )
+        )
         self.counters.inc("retries")
         self._advance_within_deadline(
             self._backoff_ns(attempt), start_ns, deadline_ns
@@ -432,7 +517,15 @@ class Channel:
         for request in requests:
             wire_request = encode_message(request)
             status, wire_response, detail = self._server.dispatch_wire(
-                service, method, wire_request, correlation_id=rid
+                service,
+                method,
+                wire_request,
+                correlation_id=rid,
+                deadline_ns=(
+                    deadline_ns - (self._clock.now_ns - start_ns)
+                    if deadline_ns is not None
+                    else None
+                ),
             )
             wire_in += len(wire_request)
             wire_out += len(wire_response)
@@ -443,6 +536,8 @@ class Channel:
                     deadline_ns,
                 )
                 self.counters.inc("calls_failed")
+                if status is StatusCode.RESOURCE_EXHAUSTED:
+                    raise ServerOverloadedError(detail)
                 raise RpcStatusError(status, detail)
             responses.append(decode_message(wire_response))
         self._advance_within_deadline(

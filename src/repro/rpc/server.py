@@ -48,6 +48,10 @@ class RpcServer:
         self.tracer = None
         self.clock = None
         self._latency = None
+        # Opt-in admission control (repro.rpc.overload), set by the cluster
+        # builder. None (or an inactive model) keeps the legacy
+        # infinite-capacity dispatch.
+        self.overload = None
 
     def attach_metrics(self, registry) -> None:
         """Bind dispatch counters and per-method handler latency."""
@@ -59,6 +63,8 @@ class RpcServer:
             "Simulated server-side handler time per method.",
             labels=("method",),
         )
+        if self.overload is not None:
+            self.overload.attach_metrics(registry)
 
     @property
     def host(self) -> str:
@@ -74,9 +80,14 @@ class RpcServer:
         interesting: the node's exposed *memory* remains readable over the
         fabric — only the metadata plane is gone."""
         self._shutdown = True
+        if self.overload is not None:
+            # The in-memory request queue dies with the process.
+            self.overload.reset()
 
     def restart(self) -> None:
         self._shutdown = False
+        if self.overload is not None:
+            self.overload.reset()
 
     def add_service(self, service: Service) -> None:
         name = service.service_name()
@@ -108,14 +119,33 @@ class RpcServer:
         method: str,
         request_wire: bytes,
         correlation_id: str | None = None,
+        deadline_ns: float | None = None,
     ) -> tuple[StatusCode, bytes, str]:
         """Decode, dispatch, encode. Returns (status, response_wire, detail).
 
         This is the seam channels call: request and response both cross it
         as real serialized bytes. ``correlation_id`` models gRPC call
         metadata — the caller's request id rides alongside the payload so
-        server-side spans correlate with the originating client operation.
+        server-side spans correlate with the originating client operation —
+        and ``deadline_ns`` models the ``grpc-timeout`` metadata header:
+        the caller's *remaining* budget, which admission control uses to
+        shed already-expired or can't-possibly-finish work before parsing
+        or servicing it.
         """
+        if (
+            self.overload is not None
+            and not self._shutdown
+            and self.clock is not None
+        ):
+            decision = self.overload.admit(self.clock.now_ns, deadline_ns)
+            if not decision.admitted:
+                self.counters.inc("calls_shed")
+                return StatusCode.RESOURCE_EXHAUSTED, b"", decision.detail
+            if decision.delay_ns > 0:
+                # Queueing delay: the request sat in the bounded queue
+                # before its handler ran. Charged here so it lands inside
+                # the client's observed call latency.
+                self.clock.advance(decision.delay_ns)
         try:
             request = decode_message(request_wire)
         except RpcError as exc:

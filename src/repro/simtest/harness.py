@@ -26,7 +26,7 @@ Invariants checked (violations stop the run):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.chaos import (
     FaultPlan,
@@ -36,10 +36,11 @@ from repro.chaos import (
     LinkRestore,
     NodeCrash,
     NodeRestart,
+    OverloadBurst,
     RpcBlackhole,
 )
 from repro.common.clock import NS_PER_MS
-from repro.common.config import ClusterConfig
+from repro.common.config import ClusterConfig, OverloadConfig
 from repro.common.errors import (
     AdmissionRejectedError,
     ObjectCorruptedError,
@@ -66,6 +67,12 @@ CAPACITY_BYTES = 8 * MiB
 
 #: Structural (allocator/table/at-rest-bytes) checks run every N ops.
 DEEP_CHECK_EVERY = 25
+
+#: Bounded per-server request queue. Inert until a trace sets a finite
+#: service rate (``set_service_rate``), so legacy traces replay
+#: unchanged; small enough that an ``overload_burst`` can fill it and
+#: force RESOURCE_EXHAUSTED sheds.
+OVERLOAD_QUEUE_DEPTH = 16
 
 PROFILES = {"smoke": (100, 200), "nightly": (500, 300)}
 
@@ -141,6 +148,9 @@ class SimulationRunner:
         config = ClusterConfig(seed=self.seed).with_store(
             capacity_bytes=CAPACITY_BYTES
         )
+        config = replace(
+            config, overload=OverloadConfig(queue_depth=OVERLOAD_QUEUE_DEPTH)
+        )
         return Cluster(
             config,
             node_names=list(SEED_NODES),
@@ -205,7 +215,21 @@ class SimulationRunner:
             self._crashed
             or self._partitions
             or self._now() < self._blackhole_until
+            or self._overload_active()
         )
+
+    def _overload_active(self) -> bool:
+        """True while any server can shed: a finite service rate is set
+        or injected backlog has not drained. Sheds (RESOURCE_EXHAUSTED)
+        make reads fail and writes land as MAYBE, so the oracle excuses
+        quiet-cluster guarantees exactly as it does for link faults."""
+        for name in self._present:
+            if name in self._crashed:
+                continue
+            model = getattr(self.cluster.node(name).server, "overload", None)
+            if model is not None and model.active:
+                return True
+        return False
 
     def _breakers_closed(self, node: str) -> bool:
         for peer, channel in sorted(self.cluster.node(node).channels.items()):
@@ -520,6 +544,28 @@ class SimulationRunner:
         )
         return "ok"
 
+    def _do_set_service_rate(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._present or node in self._crashed:
+            return "skip"
+        model = getattr(self.cluster.node(node).server, "overload", None)
+        if model is None:
+            return "skip:no-model"
+        model.set_service_rate(float(int(op["rate"])))
+        return "ok"
+
+    def _do_overload_burst(self, op: Op) -> str:
+        node = str(op["node"])
+        if node not in self._present or node in self._crashed:
+            return "skip"
+        self.cluster.chaos.inject(
+            OverloadBurst(
+                at_ns=self._now(), node=node, backlog_ms=float(int(op["ms"]))
+            )
+        )
+        self.cluster.chaos.poll()
+        return "ok"
+
     def _do_add_node(self, op: Op) -> str:
         node = str(op["node"])
         if node in self.cluster.node_names() or node in self._removed:
@@ -707,6 +753,14 @@ class SimulationRunner:
             cluster.chaos.poll()
         for node in sorted(self._crashed):
             self._recover_one(node)
+        # Overload is an operator-induced condition, not a fault the mesh
+        # can heal: lift every throttle and drop injected backlog so the
+        # final sweep judges a genuinely quiet cluster.
+        for node in sorted(self._present):
+            model = getattr(cluster.node(node).server, "overload", None)
+            if model is not None:
+                model.reset()
+                model.set_service_rate(0.0)
 
         # Phase 1: drive heartbeats until every breaker closes. Reconcile
         # may still (re-)demote suspected members during this window.

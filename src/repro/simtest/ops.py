@@ -39,6 +39,11 @@ OP_SCHEMA: Mapping[str, tuple[str, ...]] = {
     "degrade": ("a", "b"),
     "restore": ("a", "b"),
     "blackhole": ("src", "dst", "ms"),
+    # Overload control (repro.rpc.overload): throttle one node's service
+    # rate live, or inject a burst of queued work its admission model
+    # then drains (and sheds) at that rate.
+    "set_service_rate": ("node", "rate"),
+    "overload_burst": ("node", "ms"),
     # Maintenance / time.
     "scrub": ("node",),
     "rebalance": (),

@@ -21,6 +21,12 @@ _SIZES = (64, 256, 1024, 4096, 8192)
 _REPLICAS = (1, 1, 1, 2, 2, 3)
 _ADVANCE_MS = (1, 2, 5, 10, 60, 300)
 _BLACKHOLE_MS = (1, 5, 20)
+#: Service rates ``set_service_rate`` toggles between (0 = infinite) and
+#: the stall sizes ``overload_burst`` injects. Rates must be low enough
+#: that one service time exceeds a typical inter-arrival gap, else the
+#: bounded queue never fills between sequential ops.
+_SERVICE_RATES = (0, 50, 200, 1000)
+_BURST_MS = (5, 20, 100)
 #: Tenants the admission-control ops draw from, and the byte-quota levels
 #: set_quota installs — small enough that a few tenant_puts trip them.
 TENANTS = ("alpha", "beta")
@@ -40,6 +46,8 @@ WEIGHTS: tuple[tuple[str, int], ...] = (
     ("degrade", 2),
     ("restore", 3),
     ("blackhole", 2),
+    ("set_service_rate", 2),
+    ("overload_burst", 2),
     ("add_node", 2),
     ("drain", 2),
     ("remove", 1),
@@ -185,6 +193,20 @@ def generate_ops(seed: int, n_ops: int) -> list[Op]:
                     src=src,
                     dst=dst,
                     ms=int(rng.choice(list(_BLACKHOLE_MS))),
+                )
+        elif kind == "set_service_rate":
+            if book.present():
+                op = make(
+                    "set_service_rate",
+                    node=str(rng.choice(book.present())),
+                    rate=int(rng.choice(list(_SERVICE_RATES))),
+                )
+        elif kind == "overload_burst":
+            if book.present():
+                op = make(
+                    "overload_burst",
+                    node=str(rng.choice(book.present())),
+                    ms=int(rng.choice(list(_BURST_MS))),
                 )
         elif kind == "add_node":
             if len(book.present()) < MAX_NODES:

@@ -106,7 +106,7 @@ def build_workload_payload(result) -> dict:
                 .get("workload_op_latency_ns")
             ),
         }
-    return {
+    payload = {
         "artifact": bench_artifact_name(result.scenario_name),
         "schema_version": BENCH_SCHEMA_VERSION,
         "scenario": result.scenario_name,
@@ -131,4 +131,38 @@ def build_workload_payload(result) -> dict:
             "deleted": result.bytes_deleted,
         },
         "outcomes": dict(sorted(result.outcomes.items())),
+    }
+    if getattr(result, "overload_enabled", False):
+        payload["overload"] = overload_block(result, duration_s)
+    return payload
+
+
+def overload_block(result, duration_s: float) -> dict:
+    """The ``overload`` section of a BENCH payload: goodput (in-deadline
+    "ok" ops/s), shed rate, queue-depth quantiles, and the merged
+    server/client overload counters. Only present when the scenario ran
+    with an ``overload`` block — legacy artifacts stay byte-identical."""
+    server = dict(sorted(result.overload_server.items()))
+    shed = server.get("shed_queue_full", 0) + server.get("shed_expired", 0)
+    arrivals = server.get("admitted", 0) + shed
+    queue = result.overload_queue
+    if queue.count:
+        queue_block = {
+            "count": queue.count,
+            "p50": int(round(queue.quantile(0.5))),
+            "p99": int(round(queue.quantile(0.99))),
+            "max": int(round(queue.max)),
+        }
+    else:
+        queue_block = {"count": 0}
+    return {
+        "op_deadline_ms": result.op_deadline_ns / 1e6,
+        "in_deadline_ops": result.in_deadline_ops,
+        "goodput_ops_per_s": (
+            round(result.in_deadline_ops / duration_s, 3) if duration_s else 0.0
+        ),
+        "shed_rate": round(shed / arrivals, 6) if arrivals else 0.0,
+        "queue_depth": queue_block,
+        "server": server,
+        "client": dict(sorted(result.overload_client.items())),
     }

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field, replace
 
-from repro.common.config import ClusterConfig
+from repro.common.config import ClusterConfig, OverloadConfig
 from repro.common.errors import AdmissionRejectedError, ReproError
 from repro.common.ids import ObjectID
 from repro.common.rng import DeterministicRng
@@ -73,6 +73,16 @@ class WorkloadResult:
     bytes_deleted: int = 0
     admission: dict = field(default_factory=dict)
     registry: MetricsRegistry | None = None
+    # Overload-control measurements (populated only when the scenario has
+    # an ``overload`` block): goodput = "ok" ops whose latency fit the op
+    # deadline, queue depth sampled per admitted request, and the merged
+    # server/client shed-and-retry counters.
+    overload_enabled: bool = False
+    op_deadline_ns: float = 0.0
+    in_deadline_ops: int = 0
+    overload_queue: Distribution = field(default_factory=Distribution)
+    overload_server: dict[str, int] = field(default_factory=dict)
+    overload_client: dict[str, int] = field(default_factory=dict)
 
 
 def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
@@ -96,7 +106,24 @@ def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
         config.rpc,
         round_trip_ns=config.rpc.round_trip_ns * link.rpc_round_trip_factor,
     )
-    return replace(config, fabric=fabric, rpc=rpc)
+    overload = config.overload
+    spec = scenario.overload
+    if spec is not None:
+        overload = OverloadConfig(
+            service_rate_ops_per_s=spec.service_rate_ops_per_s,
+            queue_depth=spec.queue_depth,
+            queue_discipline=spec.queue_discipline,
+            shed_expired=spec.shed_expired,
+        )
+        rpc = replace(
+            rpc,
+            default_deadline_ns=spec.op_deadline_ms * 1e6,
+            retry_budget_per_s=spec.retry_budget_per_s,
+            retry_budget_burst=spec.retry_budget_burst,
+            hedge_quantile=spec.hedge_quantile,
+            hedge_min_samples=spec.hedge_min_samples,
+        )
+    return replace(config, fabric=fabric, rpc=rpc, overload=overload)
 
 
 class ScenarioRunner:
@@ -106,6 +133,8 @@ class ScenarioRunner:
         self.scenario = scenario
         self.seed = scenario.seed if seed is None else int(seed)
         self.registry = MetricsRegistry(node="workload")
+        self._burst_model = None
+        self._shed_expired_ingress = False
         self.admission = AdmissionController()
         self.admission.attach_metrics(self.registry)
         for tenant in scenario.tenants:
@@ -277,9 +306,40 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------ run
 
+    def _maybe_burst(self) -> None:
+        """Inject every periodic stall that has come due on the burst node
+        (``burst_backlog_ms`` of queued work each ``burst_period_s``)."""
+        if self._burst_model is None:
+            return
+        while self.cluster.clock.now_ns >= self._next_burst_ns:
+            self._burst_model.add_backlog(self._burst_backlog_ns)
+            self._next_burst_ns += self._burst_period_ns
+
     def _execute(self, op: WorkloadOp, issue_ns: int) -> None:
         clock = self.cluster.clock
         result = self.result
+        self._maybe_burst()
+        if (
+            self._shed_expired_ingress
+            and clock.now_ns - issue_ns >= result.op_deadline_ns
+        ):
+            # The op's deadline is anchored at its *scheduled* arrival, and
+            # it expired while the op sat in the dispatch backlog. Serving
+            # it now would burn cluster time nobody is waiting for — shed
+            # at the ingress, the client-side twin of the server's
+            # expired-work shedding. This is what lets goodput survive
+            # past the knee: stale work exits for free, fresh work runs.
+            result.executed_ops += 1
+            result.outcomes["shed:expired"] = (
+                result.outcomes.get("shed:expired", 0) + 1
+            )
+            result.overload_client["ingress_shed"] = (
+                result.overload_client.get("ingress_shed", 0) + 1
+            )
+            self._m_ops.labels(
+                tenant=op.tenant, kind=op.kind, outcome="shed:expired"
+            ).inc()
+            return
         try:
             self.admission.admit(
                 op.tenant, op.kind, op.size_bytes, clock.now_ns
@@ -297,23 +357,88 @@ class ScenarioRunner:
             outcome = f"error:{type(exc).__name__}"
         latency = clock.now_ns - issue_ns
         result.executed_ops += 1
+        if outcome == "ok" and (
+            result.op_deadline_ns <= 0 or latency <= result.op_deadline_ns
+        ):
+            result.in_deadline_ops += 1
         result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
         result.latency_overall.add(latency)
         result.latency_by_kind.setdefault(op.kind, Distribution()).add(latency)
         self._m_ops.labels(tenant=op.tenant, kind=op.kind, outcome=outcome).inc()
         self._m_latency.labels(tenant=op.tenant, kind=op.kind).observe(latency)
 
+    def _collect_overload(self) -> None:
+        """Merge per-server admission stats and per-channel retry/hedge
+        counters into the result (node order → deterministic)."""
+        result = self.result
+        for name in self.cluster.node_names():
+            node = self.cluster.node(name)
+            model = node.server.overload
+            if model is not None:
+                result.overload_queue.extend(model.queue_samples.samples)
+                for key, value in sorted(model.counters.snapshot().items()):
+                    result.overload_server[key] = (
+                        result.overload_server.get(key, 0) + value
+                    )
+            for _, channel in sorted(node.channels.items()):
+                counters = getattr(channel, "counters", None)
+                if counters is None:
+                    continue
+                for key in (
+                    "attempts_shed",
+                    "retries",
+                    "retries_suppressed",
+                ):
+                    value = counters.snapshot().get(key, 0)
+                    if value:
+                        result.overload_client[key] = (
+                            result.overload_client.get(key, 0) + value
+                        )
+
     def run(self) -> WorkloadResult:
         scenario = self.scenario
+        if scenario.overload is not None:
+            self.result.overload_enabled = True
+            self.result.op_deadline_ns = scenario.overload.op_deadline_ms * 1e6
+            self._shed_expired_ingress = (
+                scenario.overload.shed_expired
+                and scenario.overload.op_deadline_ms > 0
+            )
         self.cluster = self._build_cluster()
         self._clients = [
             self.cluster.client(name, client_name=f"wl-{name}")
             for name in self.cluster.node_names()
         ]
+        if scenario.overload is not None:
+            # Preload is setup, not measured traffic: build the population
+            # at infinite capacity, then arm the finite service rate with a
+            # clean queue so the experiment starts from steady state.
+            for name in self.cluster.node_names():
+                self.cluster.node(name).server.overload.set_service_rate(0.0)
         self._preload()
+        if scenario.overload is not None:
+            for name in self.cluster.node_names():
+                model = self.cluster.node(name).server.overload
+                model.reset()
+                model.set_service_rate(scenario.overload.service_rate_ops_per_s)
         ops = generate_stream(scenario, self.seed)
         clock = self.cluster.clock
         t0 = clock.now_ns
+
+        # Periodic one-node stalls (traffic-plane OverloadBurst analogue).
+        self._burst_model = None
+        spec = scenario.overload
+        if (
+            spec is not None
+            and spec.burst_backlog_ms > 0
+            and spec.burst_period_s > 0
+        ):
+            names = self.cluster.node_names()
+            target = names[spec.burst_node % len(names)]
+            self._burst_model = self.cluster.node(target).server.overload
+            self._burst_backlog_ns = spec.burst_backlog_ms * 1e6
+            self._burst_period_ns = spec.burst_period_s * 1e9
+            self._next_burst_ns = t0 + self._burst_period_ns
 
         arrival = scenario.traffic.arrival
         if arrival.mode == "open":
@@ -341,6 +466,8 @@ class ScenarioRunner:
 
         self.result.duration_ns = clock.now_ns - t0
         self.result.admission = self.admission.snapshot()
+        if self.result.overload_enabled:
+            self._collect_overload()
         return self.result
 
 

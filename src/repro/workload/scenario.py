@@ -484,6 +484,93 @@ class Traffic:
         }
 
 
+# --------------------------------------------------------------------------- overload
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """Server-side overload control plus the client-side taming knobs.
+
+    Present in a scenario, it gives every server a finite service rate and
+    bounded request queue (shedding RESOURCE_EXHAUSTED beyond it), stamps
+    every operation with a deadline (propagated hop to hop so servers can
+    shed expired work), caps client retry amplification with a token-bucket
+    retry budget, and optionally enables quantile-delay hedged reads.
+    Absent, everything stays at the legacy infinite-capacity behaviour.
+
+    ``burst_backlog_ms``/``burst_period_s`` model recurring stalls on one
+    node (a GC pause, a compaction, a noisy neighbour): every period the
+    runner injects that much queued work into ``burst_node``'s admission
+    model, which then drains it at the service rate — the deterministic
+    traffic-plane analogue of the chaos plane's ``OverloadBurst``.
+    """
+
+    service_rate_ops_per_s: float = 0.0
+    queue_depth: int = 64
+    queue_discipline: str = "fifo"
+    shed_expired: bool = True
+    op_deadline_ms: float = 0.0
+    retry_budget_per_s: float = 0.0
+    retry_budget_burst: int = 10
+    hedge_quantile: float = 0.0
+    hedge_min_samples: int = 20
+    burst_backlog_ms: float = 0.0
+    burst_period_s: float = 0.0
+    burst_node: int = 0
+
+    FIELDS = (
+        "service_rate_ops_per_s", "queue_depth", "queue_discipline",
+        "shed_expired", "op_deadline_ms", "retry_budget_per_s",
+        "retry_budget_burst", "hedge_quantile", "hedge_min_samples",
+        "burst_backlog_ms", "burst_period_s", "burst_node",
+    )
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "OverloadSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        discipline = _string(data, "queue_discipline", path, "fifo")
+        if discipline not in ("fifo", "lifo"):
+            raise _fail(f"{path}.queue_discipline",
+                        f"unknown discipline {discipline!r}; "
+                        "have ('fifo', 'lifo')")
+        shed = data.get("shed_expired", True)
+        if not isinstance(shed, bool):
+            raise _fail(f"{path}.shed_expired",
+                        f"expected a bool, got {shed!r}")
+        return cls(
+            service_rate_ops_per_s=_number(
+                data, "service_rate_ops_per_s", path, 0.0, lo=0.0
+            ),
+            queue_depth=_number(data, "queue_depth", path, 64, lo=0,
+                                integer=True),
+            queue_discipline=discipline,
+            shed_expired=shed,
+            op_deadline_ms=_number(data, "op_deadline_ms", path, 0.0, lo=0.0),
+            retry_budget_per_s=_number(
+                data, "retry_budget_per_s", path, 0.0, lo=0.0
+            ),
+            retry_budget_burst=_number(
+                data, "retry_budget_burst", path, 10, lo=1, integer=True
+            ),
+            hedge_quantile=_number(
+                data, "hedge_quantile", path, 0.0, lo=0.0, hi=0.999
+            ),
+            hedge_min_samples=_number(
+                data, "hedge_min_samples", path, 20, lo=1, integer=True
+            ),
+            burst_backlog_ms=_number(
+                data, "burst_backlog_ms", path, 0.0, lo=0.0
+            ),
+            burst_period_s=_number(data, "burst_period_s", path, 0.0, lo=0.0),
+            burst_node=_number(data, "burst_node", path, 0, lo=0,
+                               integer=True),
+        )
+
+    def to_obj(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
 # --------------------------------------------------------------------------- tenants
 
 
@@ -564,9 +651,10 @@ class Scenario:
     population: Population = field(default_factory=Population)
     traffic: Traffic = field(default_factory=Traffic)
     tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
+    overload: OverloadSpec | None = None
 
     FIELDS = ("schema_version", "name", "description", "seed", "cluster",
-              "population", "traffic", "tenants")
+              "population", "traffic", "tenants", "overload")
 
     @classmethod
     def from_obj(cls, obj: object, path: str = "scenario") -> "Scenario":
@@ -604,6 +692,11 @@ class Scenario:
             ),
             traffic=Traffic.from_obj(data.get("traffic", {}), f"{path}.traffic"),
             tenants=tenants,
+            overload=(
+                OverloadSpec.from_obj(data["overload"], f"{path}.overload")
+                if data.get("overload") is not None
+                else None
+            ),
         )
         if scenario.traffic.scan_length > scenario.population.objects:
             raise _fail(f"{path}.traffic.scan_length",
@@ -611,7 +704,7 @@ class Scenario:
         return scenario
 
     def to_obj(self) -> dict:
-        return {
+        out = {
             "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -621,6 +714,9 @@ class Scenario:
             "traffic": self.traffic.to_obj(),
             "tenants": [t.to_obj() for t in self.tenants],
         }
+        if self.overload is not None:
+            out["overload"] = self.overload.to_obj()
+        return out
 
     def with_seed(self, seed: int) -> "Scenario":
         return dataclasses.replace(self, seed=int(seed))
