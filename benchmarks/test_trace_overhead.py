@@ -1,0 +1,94 @@
+"""Span-tracing overhead guarantees on the Fig 6/7 hot paths.
+
+Same contract the metrics plane honors (benchmarks/test_obs_overhead.py):
+
+* **Zero simulated-ns overhead.** The span sink only listens to clock
+  advances — it never advances the clock and never consumes shared RNG
+  (its sampling stream is a pure spawn) — so the final simulated
+  timestamp is bit-identical with tracing enabled, disabled, and at any
+  sample rate.
+* **Bounded wall-clock overhead.** With tracing off every handle is
+  ``None`` and the hot path pays a single ``is None`` test; fully
+  enabled it must stay within a loose constant factor.
+"""
+
+import time
+
+from repro.common.config import ClusterConfig
+from repro.common.units import KiB, MiB
+from repro.core import Cluster
+from repro.obs.spans import SpanConfig
+
+N_OBJECTS = 50
+OBJ_BYTES = 10 * KiB
+
+
+def _run_fig67_workload(*, tracing=None) -> tuple[int, dict]:
+    """The Fig 6/7 shape: put on node0, remote get + sequential read from
+    node1. Returns (final simulated ns, cluster stats)."""
+    cluster = Cluster(
+        ClusterConfig(seed=123).with_store(capacity_bytes=64 * MiB),
+        n_nodes=2,
+        check_remote_uniqueness=False,
+        tracing=tracing,
+    )
+    producer = cluster.client("node0")
+    consumer = cluster.client("node1")
+    oids = cluster.new_object_ids(N_OBJECTS)
+    for i, oid in enumerate(oids):
+        producer.put_bytes(oid, bytes([i % 251]) * OBJ_BYTES)
+    for oid in oids:
+        [buf] = consumer.get([oid])
+        buf.read_all()
+        consumer.release(oid)
+    return cluster.clock.now_ns, cluster.stats()
+
+
+class TestSimulatedTimeNeutrality:
+    def test_tracing_adds_zero_simulated_ns(self):
+        ns_off, stats_off = _run_fig67_workload()
+        ns_on, stats_on = _run_fig67_workload(tracing=True)
+        assert ns_on == ns_off
+        assert stats_on == stats_off
+
+    def test_sample_rate_does_not_perturb_time(self):
+        ns_full, _ = _run_fig67_workload(tracing=SpanConfig(sample_rate=1.0))
+        ns_none, _ = _run_fig67_workload(tracing=SpanConfig(sample_rate=0.0))
+        assert ns_full == ns_none
+
+    def test_flight_only_config_matches_plain(self):
+        # The simtest/chaos configuration: rings only, nothing retained.
+        ns_plain, _ = _run_fig67_workload()
+        ns_flight, _ = _run_fig67_workload(
+            tracing=SpanConfig(sample_rate=0.0, max_traces=0)
+        )
+        assert ns_flight == ns_plain
+
+
+class TestDisabledPathIsFree:
+    def test_untraced_cluster_builds_no_sink(self):
+        cluster = Cluster(
+            ClusterConfig(seed=123).with_store(capacity_bytes=64 * MiB),
+            n_nodes=2,
+            check_remote_uniqueness=False,
+        )
+        assert cluster.spans is None
+
+
+class TestWallClockOverhead:
+    def _time(self, **kwargs) -> float:
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            _run_fig67_workload(**kwargs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def test_enabled_overhead_is_bounded(self):
+        """Very loose bound — a tripwire for accidentally putting
+        allocation or formatting on the hot path, not a precise ratio."""
+        base = self._time()
+        traced = self._time(tracing=True)
+        assert traced < 3.0 * base + 0.05, (
+            f"tracing=True {traced:.3f}s vs baseline {base:.3f}s"
+        )

@@ -11,7 +11,14 @@ Commands:
   cache).
 * ``metrics`` — run a replicated workload with the telemetry plane
   enabled and print the cluster-wide Prometheus scrape plus the top-k
-  latency families (exact p50/p95/p99 in simulated time).
+  latency families (exact p50/p95/p99 in simulated time); ``--out``
+  writes the scrape (or ``--json`` snapshot) to a file instead.
+* ``trace`` — run a replicated workload with the span-tracing plane
+  enabled, write the Chrome trace-event artifact (open in Perfetto or
+  chrome://tracing) plus an optional JSON snapshot, and print the
+  critical-path latency attribution: every root operation's observed
+  latency decomposed ns-exactly into queue/service/fabric/retry/hedge/
+  client components.
 * ``chaos``  — run a seeded fault-injection scenario (node crashes, link
   faults, blackholes) against a replicated workload and show the
   deterministic fault timeline plus degraded-mode outcome counts.
@@ -250,6 +257,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     # One anti-entropy pass so scrub counters appear in the scrape.
     Scrubber(cluster.store("node0"), replication_target=1).run()
     telemetry = cluster.metrics()
+    if args.out is not None:
+        if args.json:
+            text = json.dumps(telemetry.snapshot(), indent=2, sort_keys=True)
+        else:
+            text = telemetry.prometheus()
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.out}")
+        return 0
     if args.json:
         print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True))
         return 0
@@ -257,6 +275,86 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"top {args.top} latency families (by total simulated time):")
     print(telemetry.format_top(args.top))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.common.units import KB
+    from repro.core import Cluster
+    from repro.obs.spans import SpanConfig
+
+    if args.nodes < 2:
+        print("error: trace needs --nodes >= 2", file=sys.stderr)
+        return 2
+    cfg = ClusterConfig(seed=args.seed).with_store(capacity_bytes=256 * MiB)
+    cluster = Cluster(
+        cfg,
+        n_nodes=args.nodes,
+        check_remote_uniqueness=False,
+        enable_lookup_cache=True,
+        tracing=SpanConfig(sample_rate=args.sample_rate),
+    )
+    producer = cluster.client("node0")
+    consumer = cluster.client(f"node{args.nodes - 1}")
+    ids = cluster.new_object_ids(args.objects)
+    payload = bytes(args.size_kb * KB)
+    for oid in ids:
+        producer.put_bytes(oid, payload, replicas=min(2, args.nodes))
+    for _ in range(args.rounds):
+        bufs = consumer.get(ids)
+        for buf in bufs:
+            buf.charge_sequential_read()
+        for oid in ids:
+            consumer.release(oid)
+
+    sink = cluster.spans
+    sink.write_chrome_trace(args.out)
+    stats = sink.sampling_stats()
+    traces = sink.traces()
+    print(
+        f"traced {stats['roots']} root operation(s): kept "
+        f"{stats['kept_head']} head + {stats['kept_tail']} tail, "
+        f"{stats['discarded']} discarded (sample rate {stats['sample_rate']:g})"
+    )
+    # Critical-path attribution over the retained traces: every root's
+    # observed latency decomposed into components that sum ns-exactly.
+    by_name: dict[str, dict] = {}
+    exact = True
+    for trace in traces:
+        slot = by_name.setdefault(
+            trace["name"], {"ops": 0, "observed_ns": 0, "components_ns": {}}
+        )
+        slot["ops"] += 1
+        slot["observed_ns"] += trace["duration_ns"]
+        for component, ns in trace["components_ns"].items():
+            slot["components_ns"][component] = (
+                slot["components_ns"].get(component, 0) + ns
+            )
+        if sum(trace["components_ns"].values()) != trace["duration_ns"]:
+            exact = False
+    print(f"latency attribution (components sum exactly: {exact}):")
+    for name, slot in sorted(by_name.items()):
+        parts = " ".join(
+            f"{component}={ns / 1e6:.3f}ms"
+            for component, ns in sorted(slot["components_ns"].items())
+            if ns
+        )
+        print(
+            f"  {name:<10} x{slot['ops']:<4} "
+            f"{slot['observed_ns'] / 1e6:9.3f} ms = {parts}"
+        )
+    print(f"wrote Chrome trace to {args.out} "
+          f"(open in chrome://tracing or Perfetto)")
+    if args.snapshot is not None:
+        import json
+
+        with open(args.snapshot, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(sink.snapshot(), indent=2, sort_keys=True))
+            fh.write("\n")
+        print(f"wrote JSON snapshot to {args.snapshot}")
+    if args.flight is not None:
+        sink.write_flight(args.flight)
+        print(f"wrote flight recorder to {args.flight}")
+    return 0 if exact else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -271,6 +369,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.common.units import KB
     from repro.core import Cluster
+    from repro.obs.spans import SpanConfig
 
     if args.nodes < 2:
         print("error: chaos needs --nodes >= 2", file=sys.stderr)
@@ -311,6 +410,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             check_remote_uniqueness=False,
             fault_plan=plan,
             metrics=True,
+            # Flight-recorder-only tracing: no sampled traces, just the
+            # bounded per-node span rings — the black box a determinism
+            # diff ships with. Tracing never advances the clock, so the
+            # timeline/outcome comparison below is unaffected.
+            tracing=SpanConfig(sample_rate=0.0, max_traces=0),
         )
         producer = cluster.client("node0")
         consumer = cluster.client(f"node{args.nodes - 1}")
@@ -345,10 +449,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 ("repro_rpc_breaker_opens", "repro_rpc_client_deadline_exceeded")
             )
         ]
-        return timeline, outcomes, snapshot, telemetry_lines
+        flight = cluster.spans.flight_dump()
+        return timeline, outcomes, snapshot, telemetry_lines, flight
 
-    timeline, outcomes, snapshot, telemetry_lines = run_once()
-    timeline2, outcomes2, _, telemetry_lines2 = run_once()
+    timeline, outcomes, snapshot, telemetry_lines, flight = run_once()
+    timeline2, outcomes2, _, telemetry_lines2, flight2 = run_once()
     print("applied fault timeline:")
     for line in timeline:
         print(f"  {line}")
@@ -369,8 +474,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         timeline == timeline2
         and outcomes == outcomes2
         and telemetry_lines == telemetry_lines2
+        and flight == flight2
     )
     print(f"replay with same seed identical: {'yes' if deterministic else 'NO'}")
+    if not deterministic:
+        # A determinism diff is exactly the failure the flight recorder
+        # exists for: dump the per-node span rings of both runs so the
+        # divergence can be localized to the first differing span.
+        import json
+
+        for label, dump in (("run1", flight), ("run2", flight2)):
+            path = f"{args.flight_prefix}_{label}.json"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(dump, indent=2, sort_keys=True))
+                fh.write("\n")
+            print(f"wrote flight recorder to {path}")
     return 0 if deterministic else 1
 
 
@@ -531,9 +649,32 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_simtest(args: argparse.Namespace) -> int:
-    from repro.simtest.harness import PROFILES, run_seed, run_seeds
+    import json
+
+    from repro.simtest.harness import PROFILES, replay_trace, run_seed, run_seeds
     from repro.simtest.selfcheck import run_selfcheck
     from repro.simtest.shrink import emit_pytest, format_trace, shrink_result
+
+    def emit_reproducer(report) -> None:
+        """Write the shrunk pytest reproducer plus the flight recorder.
+
+        The minimal trace is replayed once more and the per-node span
+        rings of the (still-failing) run land next to the reproducer —
+        the crash dump that shows what every node was doing when the
+        oracle fired. The replay is deterministic, so the dump is
+        byte-identical every time this trace is replayed.
+        """
+        with open(args.emit, "w", encoding="utf-8") as fh:
+            fh.write(emit_pytest(report, expect="clean"))
+        print(f"wrote reproducer to {args.emit}")
+        replay = replay_trace(report.to_trace())
+        if replay.flight is None:
+            return
+        flight_path = f"{args.emit}.flight.json"
+        with open(flight_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(replay.flight, indent=2, sort_keys=True))
+            fh.write("\n")
+        print(f"wrote flight recorder to {flight_path}")
 
     if args.self_check:
         report = run_selfcheck(mutation=args.mutation or "skip_retire")
@@ -565,9 +706,7 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
             report = shrink_result(first)
             print(format_trace(report))
             if args.emit:
-                with open(args.emit, "w", encoding="utf-8") as fh:
-                    fh.write(emit_pytest(report, expect="clean"))
-                print(f"wrote reproducer to {args.emit}")
+                emit_reproducer(report)
         return 0 if first.ok and identical else 1
 
     def progress(seed: int, result) -> None:
@@ -590,9 +729,7 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
         report = shrink_result(sweep.failures[0])
         print(format_trace(report))
         if args.emit:
-            with open(args.emit, "w", encoding="utf-8") as fh:
-                fh.write(emit_pytest(report, expect="clean"))
-            print(f"wrote reproducer to {args.emit}")
+            emit_reproducer(report)
     return 0 if sweep.ok else 1
 
 
@@ -601,7 +738,11 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.workload import load_scenario, run_scenario
-    from repro.workload.report import bench_artifact_name, dumps_bench
+    from repro.workload.report import (
+        bench_artifact_name,
+        dumps_bench,
+        trace_artifact_name,
+    )
     from repro.workload.scenario import ScenarioError
 
     if args.list:
@@ -641,22 +782,37 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     except (ScenarioError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.trace and (scenario.tracing is None or not scenario.tracing.enabled):
+        import dataclasses
+
+        from repro.workload.scenario import TracingSpec
+
+        scenario = dataclasses.replace(scenario, tracing=TracingSpec())
     seed = args.seed if args.seed is not None else scenario.seed
 
-    def run_once() -> str:
-        _, payload = run_scenario(scenario, seed)
-        return dumps_bench(payload)
+    def run_once() -> tuple[str, str | None]:
+        result, payload = run_scenario(scenario, seed)
+        trace_text = None
+        if args.trace:
+            trace_text = (
+                json.dumps(result.spans.to_chrome_trace(), sort_keys=True) + "\n"
+            )
+        return dumps_bench(payload), trace_text
 
-    text = run_once()
+    text, trace_text = run_once()
     if args.twice:
-        second = run_once()
-        if text != second:
+        second, trace_second = run_once()
+        if text != second or trace_text != trace_second:
             print("DETERMINISM FAILURE: two runs produced different "
                   "artifacts", file=sys.stderr)
             return 1
     out_path = Path(args.out) / bench_artifact_name(scenario.name)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(text, encoding="utf-8")
+    trace_path = None
+    if trace_text is not None:
+        trace_path = Path(args.out) / trace_artifact_name(scenario.name)
+        trace_path.write_text(trace_text, encoding="utf-8")
     payload = json.loads(text)
     sim = payload["sim"]
     if args.json:
@@ -692,9 +848,30 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 f"(in-deadline {overload['in_deadline_ops']}) "
                 f"shed rate {overload['shed_rate']:.1%} {depth}"
             )
+        attribution = payload.get("latency_attribution")
+        if attribution is not None:
+            sampling = attribution["sampling"]
+            print(
+                f"  attribution: exact={attribution['exact']} "
+                f"(roots {sampling.get('roots', 0)}, "
+                f"kept {sampling.get('kept_head', 0)} head "
+                f"+ {sampling.get('kept_tail', 0)} tail)"
+            )
+            for kind, slot in sorted(attribution["by_kind"].items()):
+                parts = " ".join(
+                    f"{name}={ns / 1e6:.2f}ms"
+                    for name, ns in sorted(slot["components_ns"].items())
+                    if ns
+                )
+                print(
+                    f"    {kind:<7} x{slot['ops']:<5} "
+                    f"{slot['observed_ns'] / 1e6:8.2f} ms = {parts}"
+                )
         if args.twice:
             print("  run-twice artifact byte-identical: yes")
     print(f"wrote {out_path}")
+    if trace_path is not None:
+        print(f"wrote {trace_path}")
     return 0
 
 
@@ -735,6 +912,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="latency families to show in the summary table")
     metrics.add_argument("--json", action="store_true",
                          help="print the JSON snapshot instead of the scrape")
+    metrics.add_argument("--out", metavar="PATH", default=None,
+                         help="write the scrape (or --json snapshot) to PATH "
+                              "instead of stdout")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a replicated workload with span tracing and emit the "
+             "Chrome trace plus critical-path latency attribution",
+    )
+    trace.add_argument("--nodes", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--objects", type=int, default=12)
+    trace.add_argument("--size-kb", type=int, default=100)
+    trace.add_argument("--rounds", type=int, default=3)
+    trace.add_argument("--sample-rate", type=float, default=1.0,
+                       help="head-sampling probability for retained traces "
+                            "(errors/slow ops are tail-kept regardless)")
+    trace.add_argument("--out", metavar="PATH", default="TRACE_demo.json",
+                       help="Chrome trace-event output path")
+    trace.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="also write the JSON span snapshot to PATH")
+    trace.add_argument("--flight", metavar="PATH", default=None,
+                       help="also dump the per-node flight-recorder rings "
+                            "to PATH")
 
     chaos = sub.add_parser(
         "chaos", help="seeded fault-injection scenario with resilience stats"
@@ -754,6 +955,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="copies per object (1 = no failover)")
     chaos.add_argument("--deadline-ms", type=float, default=20.0,
                        help="per-call RPC deadline (0 = none)")
+    chaos.add_argument("--flight-prefix", metavar="PREFIX",
+                       default="FLIGHT_chaos",
+                       help="on a determinism diff, dump both runs' "
+                            "flight recorders to PREFIX_run{1,2}.json")
 
     recover = sub.add_parser(
         "recover",
@@ -828,6 +1033,10 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--twice", action="store_true",
                           help="run twice and fail unless the artifact is "
                                "byte-identical")
+    workload.add_argument("--trace", action="store_true",
+                          help="force span tracing on and write the "
+                               "TRACE_workload_<scenario>.json Chrome trace "
+                               "next to the BENCH artifact")
     workload.add_argument("--json", action="store_true",
                           help="print the full BENCH payload instead of the "
                                "summary")
@@ -847,6 +1056,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "ablation": _cmd_ablation,
     "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "recover": _cmd_recover,
     "topology": _cmd_topology,

@@ -28,12 +28,13 @@ class SimClock:
     of elapsed time.
     """
 
-    __slots__ = ("_now_ns",)
+    __slots__ = ("_now_ns", "_on_advance")
 
     def __init__(self, start_ns: int = 0):
         if start_ns < 0:
             raise ValueError("clock cannot start before t=0")
         self._now_ns = int(start_ns)
+        self._on_advance = None
 
     @property
     def now_ns(self) -> int:
@@ -53,8 +54,20 @@ class SimClock:
         """
         if delta_ns < 0:
             raise ValueError(f"cannot advance clock by negative {delta_ns} ns")
-        self._now_ns += int(round(delta_ns))
+        applied = int(round(delta_ns))
+        self._now_ns += applied
+        if self._on_advance is not None and applied:
+            self._on_advance(applied)
         return self._now_ns
+
+    def set_advance_listener(self, listener) -> None:
+        """Install *listener(delta_ns)*, called after every positive integer
+        advance with the exact delta applied. One listener at a time; pass
+        ``None`` to remove. The tracing plane uses this to attribute each
+        slice of simulated time to the component that spent it — the
+        listener must never advance the clock or draw simulation RNG.
+        """
+        self._on_advance = listener
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now_ns} ns)"

@@ -44,6 +44,15 @@ class Tracer:
       ``dropped`` counts the overflow, and a ring tracer surfaces it as a
       synthetic ``tracer/dropped`` instant at the start of :meth:`events`
       and the Chrome export so truncation is visible on the timeline.
+
+    .. deprecated:: PR 8
+        Ring mode is now a thin adapter over
+        :class:`repro.obs.spans.FlightRecorder`, the one bounded
+        event-recording path shared with the span tracing plane; new
+        post-mortem instrumentation should use ``repro.obs.spans``
+        directly (per-node rings, automatic dumps on simtest/chaos
+        failures). The ``Tracer`` API and its Chrome export stay for the
+        ``--trace`` CLI path and existing callers.
     """
 
     def __init__(self, clock: SimClock, max_events: int = 100_000, ring: bool = False):
@@ -52,9 +61,16 @@ class Tracer:
         self._clock = clock
         self._max = max_events
         self._ring = ring
-        self._events: deque[TraceEvent] | list[TraceEvent] = (
-            deque(maxlen=max_events) if ring else []
-        )
+        self._recorder = None
+        if ring:
+            # Deferred import: repro.obs pulls in the metrics/export stack,
+            # which this low-level module must not require at import time.
+            from repro.obs.spans import FlightRecorder
+
+            self._recorder = FlightRecorder(max_events)
+            self._events: deque[TraceEvent] | list[TraceEvent] = self._recorder.ring
+        else:
+            self._events = []
         self.dropped = 0
 
     @property
@@ -108,11 +124,15 @@ class Tracer:
         )
 
     def _record(self, event: TraceEvent) -> None:
+        if self._recorder is not None:
+            # Ring mode delegates bounded storage + drop accounting to the
+            # shared flight recorder (eviction of the oldest on overflow).
+            self._recorder.record(event)
+            self.dropped = self._recorder.dropped
+            return
         if len(self._events) >= self._max:
             self.dropped += 1
-            if not self._ring:
-                return
-            # deque(maxlen) evicts the oldest span on append.
+            return
         self._events.append(event)
 
     def _dropped_marker(self) -> TraceEvent | None:

@@ -98,13 +98,25 @@ class DisaggregatedClient(PlasmaClient):
         rid: str | None,
     ) -> list[PlasmaBuffer]:
         tracer = self._store.tracer
-        if tracer is None:
+        spans = self._store.spans
+        if tracer is None and spans is None:
             return self._get_inner(object_ids, allow_missing)
         args = {"n": len(object_ids)}
         if rid is not None:
             args["rid"] = rid
-        with tracer.span("client", "get", track=self._name, **args):
-            return self._get_inner(object_ids, allow_missing)
+        if spans is not None:
+            with spans.span("client", "get", node=self._name, **args):
+                return self._get_traced(object_ids, allow_missing, args)
+        return self._get_traced(object_ids, allow_missing, args)
+
+    def _get_traced(
+        self, object_ids: list[ObjectID], allow_missing: bool, args: dict
+    ) -> list[PlasmaBuffer]:
+        tracer = self._store.tracer
+        if tracer is not None:
+            with tracer.span("client", "get", track=self._name, **args):
+                return self._get_inner(object_ids, allow_missing)
+        return self._get_inner(object_ids, allow_missing)
 
     def _get_inner(
         self, object_ids: list[ObjectID], allow_missing: bool
@@ -162,17 +174,29 @@ class DisaggregatedClient(PlasmaClient):
             return object_id
         rid = self._correlation.begin()
         try:
-            tracer = self._store.tracer
-            if tracer is not None:
-                with tracer.span(
-                    "client", "put", track=self._name, rid=rid, replicas=replicas
+            spans = self._store.spans
+            if spans is not None:
+                with spans.span(
+                    "client", "put", node=self._name, rid=rid, replicas=replicas
                 ):
-                    self._put_routed(object_id, data, metadata, replicas)
+                    self._put_traced(object_id, data, metadata, replicas, rid)
             else:
-                self._put_routed(object_id, data, metadata, replicas)
+                self._put_traced(object_id, data, metadata, replicas, rid)
         finally:
             self._correlation.end()
         return object_id
+
+    def _put_traced(
+        self, object_id: ObjectID, data, metadata: bytes, replicas: int, rid: str
+    ) -> None:
+        tracer = self._store.tracer
+        if tracer is not None:
+            with tracer.span(
+                "client", "put", track=self._name, rid=rid, replicas=replicas
+            ):
+                self._put_routed(object_id, data, metadata, replicas)
+        else:
+            self._put_routed(object_id, data, metadata, replicas)
 
     def _put_routed(
         self, object_id: ObjectID, data, metadata: bytes, replicas: int

@@ -35,6 +35,7 @@ from repro.network.ipc import IpcChannel
 from repro.obs.correlation import CorrelationContext
 from repro.obs.export import Telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanConfig, SpanSink
 from repro.placement.membership import Membership, NodeStatus, TopologyView
 from repro.placement.migrate import MigrationEngine
 from repro.placement.rebalance import Rebalancer
@@ -80,6 +81,7 @@ class Cluster:
         sharing: str = "rpc",
         directory_buckets: int = 4096,
         tracer=None,
+        tracing: SpanConfig | bool | None = None,
         fault_plan: FaultPlan | None = None,
         metrics: bool = False,
         placement: bool = False,
@@ -89,10 +91,12 @@ class Cluster:
         self._config.validate()
         self._tracer = tracer
         # Correlation ids only exist when someone can observe them (a
-        # tracer or the metrics plane); otherwise every component keeps
-        # its None fast path.
+        # tracer, the span sink, or the metrics plane); otherwise every
+        # component keeps its None fast path.
         self._correlation = (
-            CorrelationContext() if (tracer is not None or metrics) else None
+            CorrelationContext()
+            if (tracer is not None or metrics or tracing)
+            else None
         )
         if node_names is None:
             if n_nodes < 2:
@@ -102,6 +106,16 @@ class Cluster:
             raise ValueError("node names must be unique")
         self._clock = SimClock()
         self._rng = DeterministicRng(self._config.seed)
+        # The span sink draws its head-sampling decisions from a dedicated
+        # child of the RNG tree, so enabling tracing never perturbs any
+        # simulation stream (and the clock listener only *reads* time):
+        # simulated results are bit-identical with tracing on or off.
+        self._spans: SpanSink | None = None
+        if tracing:
+            span_config = tracing if isinstance(tracing, SpanConfig) else SpanConfig()
+            self._spans = SpanSink(
+                self._clock, self._rng.spawn("obs", "spans"), span_config
+            )
         self._chaos: ChaosRuntime | None = None
         if fault_plan is not None:
             fault_plan.validate(node_names)
@@ -175,6 +189,7 @@ class Cluster:
         self._fabric.connect_full_mesh()
         for link in self._fabric.links():
             link.tracer = tracer
+            link.spans = self._spans
             link.correlation = self._correlation
         if self._chaos is not None:
             for link in self._fabric.links():
@@ -223,7 +238,9 @@ class Cluster:
             )
         if placement:
             self._membership = Membership(node_names, weights=node_weights)
-            self._engine = MigrationEngine(self._clock, tracer=tracer)
+            self._engine = MigrationEngine(
+                self._clock, tracer=tracer, spans=self._spans
+            )
             pcfg = self._config.placement
             self._rebalancer = Rebalancer(
                 self,
@@ -279,9 +296,11 @@ class Cluster:
             )
             store.attach_directory(directory)
         store.tracer = self._tracer
+        store.spans = self._spans
         store.correlation = self._correlation
         server = RpcServer(name)
         server.tracer = self._tracer
+        server.spans = self._spans
         server.clock = self._clock
         # Every server carries an admission model so chaos bursts and
         # runtime rate changes work on any cluster; at the default config
@@ -317,6 +336,7 @@ class Cluster:
                 self._config.rpc,
                 self._rng,
                 tracer=self._tracer,
+                spans=self._spans,
                 breaker=CircuitBreaker(
                     self._clock,
                     self._config.health,
@@ -423,6 +443,11 @@ class Cluster:
         return self._tracer
 
     @property
+    def spans(self) -> SpanSink | None:
+        """The span sink (None unless built with ``tracing=`` or attached)."""
+        return self._spans
+
+    @property
     def chaos(self) -> ChaosRuntime | None:
         """The fault-injection runtime, when built with a fault_plan."""
         return self._chaos
@@ -450,6 +475,28 @@ class Cluster:
         for link in self._fabric.links():
             link.tracer = tracer
             link.correlation = self._correlation
+
+    def attach_spans(self, sink: SpanSink) -> None:
+        """Wire a span sink (plus a correlation context) into every layer
+        of an already-built cluster — the retrofit twin of
+        :meth:`attach_tracer`. Build the sink over ``cluster.clock``;
+        attach before creating clients so their operations mint ids."""
+        self._spans = sink
+        if self._correlation is None:
+            self._correlation = CorrelationContext()
+        for node in self._nodes.values():
+            node.store.spans = sink
+            node.store.correlation = self._correlation
+            node.server.spans = sink
+            node.server.clock = self._clock
+            for channel in node.channels.values():
+                channel._spans = sink  # noqa: SLF001 — co-designed wiring
+                channel._correlation = self._correlation  # noqa: SLF001
+        for link in self._fabric.links():
+            link.spans = sink
+            link.correlation = self._correlation
+        if self._engine is not None:
+            self._engine.spans = sink
 
     def metrics(self) -> Telemetry:
         """The cluster-wide telemetry view (requires ``metrics=True``)."""
@@ -629,6 +676,7 @@ class Cluster:
         for other in existing:
             link = self._fabric.connect(name, other)
             link.tracer = self._tracer
+            link.spans = self._spans
             link.correlation = self._correlation
             if self._chaos is not None:
                 self._chaos.attach_link(link)
@@ -823,6 +871,7 @@ class Cluster:
             **self._store_kwargs,
         )
         store.tracer = self._tracer
+        store.spans = self._spans
         store.correlation = self._correlation
         if node.directory is not None:
             # The directory's buckets live in the region and survived; the

@@ -599,23 +599,38 @@ class DisaggregatedStore(PlasmaStore):
         """
         if not object_ids:
             return []
-        if self.tracer is None and self._m_get is None:
+        if self.tracer is None and self.spans is None and self._m_get is None:
             return self._get_buffers_inner(object_ids, allow_missing)
         start_ns = self.clock.now_ns
         try:
-            if self.tracer is not None:
+            if self.tracer is not None or self.spans is not None:
                 args = {"n": len(object_ids)}
                 rid = self.correlation.current if self.correlation else None
                 if rid is not None:
                     args["rid"] = rid
-                with self.tracer.span(
-                    "store", "get_buffers", track=self.node, **args
-                ):
-                    return self._get_buffers_inner(object_ids, allow_missing)
+                return self._get_buffers_observed(object_ids, allow_missing, args)
             return self._get_buffers_inner(object_ids, allow_missing)
         finally:
             if self._m_get is not None:
                 self._m_get.observe(self.clock.now_ns - start_ns)
+
+    def _get_buffers_observed(
+        self, object_ids: list[ObjectID], allow_missing: bool, args: dict
+    ) -> list[PlasmaBuffer]:
+        if self.spans is not None:
+            with self.spans.span("store", "get_buffers", node=self.node, **args):
+                return self._get_buffers_legacy_traced(
+                    object_ids, allow_missing, args
+                )
+        return self._get_buffers_legacy_traced(object_ids, allow_missing, args)
+
+    def _get_buffers_legacy_traced(
+        self, object_ids: list[ObjectID], allow_missing: bool, args: dict
+    ) -> list[PlasmaBuffer]:
+        if self.tracer is not None:
+            with self.tracer.span("store", "get_buffers", track=self.node, **args):
+                return self._get_buffers_inner(object_ids, allow_missing)
+        return self._get_buffers_inner(object_ids, allow_missing)
 
     def _get_buffers_inner(
         self, object_ids: list[ObjectID], allow_missing: bool
@@ -754,7 +769,14 @@ class DisaggregatedStore(PlasmaStore):
         stub = self._peers[name].stub
         try:
             if hedge_ns is not None:
-                response = stub.Lookup(payload, deadline_ns=hedge_ns)
+                if self.spans is not None:
+                    # Time burned waiting on a hedge-clamped probe is the
+                    # cost of the hedging policy, not ordinary service —
+                    # attribute every ns of this attempt to "hedge".
+                    with self.spans.component("hedge"):
+                        response = stub.Lookup(payload, deadline_ns=hedge_ns)
+                else:
+                    response = stub.Lookup(payload, deadline_ns=hedge_ns)
             else:
                 response = stub.Lookup(payload)
         except ServerOverloadedError:

@@ -29,18 +29,34 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     QUANTILES,
 )
+from repro.obs.spans import (
+    COMPONENTS,
+    FlightRecorder,
+    NULL_SPAN_SINK,
+    NullSpanSink,
+    SpanConfig,
+    SpanRecord,
+    SpanSink,
+)
 
 __all__ = [
+    "COMPONENTS",
     "CorrelationContext",
     "Counter",
     "CounterGroup",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "NullSpanSink",
     "NULL_REGISTRY",
+    "NULL_SPAN_SINK",
     "QUANTILES",
+    "SpanConfig",
+    "SpanRecord",
+    "SpanSink",
     "Telemetry",
     "group_by_label",
     "render_prometheus",

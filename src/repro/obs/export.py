@@ -61,6 +61,23 @@ def _sample_line(name: str, labels: dict[str, str], value: float) -> str:
     return f"{name}{_labels_text(labels)} {_format_value(value)}"
 
 
+def _exemplar_suffix(exemplar) -> str:
+    """OpenMetrics-style exemplar annotation: ``# {span_id="..."} value``.
+
+    The ref is a span id from ``repro.obs.spans``, so a slow histogram
+    bucket links straight to a concrete trace in the span export."""
+    value, ref = exemplar
+    return f' # {{span_id="{_escape_label_value(str(ref))}"}} {_format_value(value)}'
+
+
+def _bucket_exemplar(exemplars, lo: float, hi: float):
+    """Newest recorded exemplar whose value falls in ``(lo, hi]``."""
+    for value, ref in reversed(exemplars):
+        if lo < value <= hi:
+            return (value, ref)
+    return None
+
+
 def _merge_collected(registries: Iterable) -> list[dict]:
     """Group collected families by name across registries, preserving the
     per-family sorted order."""
@@ -96,26 +113,36 @@ def render_prometheus(registries: Iterable) -> str:
                 lines.append(_sample_line(name, labels, series["value"]))
                 continue
             hist = series["histogram"]
+            exemplars = hist.get("exemplars") or ()
             if bucketed:
                 cumulative = hist.get("buckets") or []
+                prev_le = -math.inf
                 for le, count in cumulative:
-                    lines.append(
-                        _sample_line(
-                            f"{name}_bucket", {**labels, "le": _format_le(le)}, count
-                        )
+                    line = _sample_line(
+                        f"{name}_bucket", {**labels, "le": _format_le(le)}, count
                     )
-                lines.append(
-                    _sample_line(
-                        f"{name}_bucket", {**labels, "le": "+Inf"}, hist["count"]
-                    )
+                    exemplar = _bucket_exemplar(exemplars, prev_le, le)
+                    if exemplar is not None:
+                        line += _exemplar_suffix(exemplar)
+                    lines.append(line)
+                    prev_le = le
+                line = _sample_line(
+                    f"{name}_bucket", {**labels, "le": "+Inf"}, hist["count"]
                 )
+                exemplar = _bucket_exemplar(exemplars, prev_le, math.inf)
+                if exemplar is not None:
+                    line += _exemplar_suffix(exemplar)
+                lines.append(line)
             else:
                 for q_text, q_value in hist["quantiles"].items():
                     lines.append(
                         _sample_line(name, {**labels, "quantile": q_text}, q_value)
                     )
                 if hist["count"]:
-                    max_lines.append(_sample_line(f"{name}_max", labels, hist["max"]))
+                    line = _sample_line(f"{name}_max", labels, hist["max"])
+                    if hist.get("max_exemplar"):
+                        line += _exemplar_suffix(hist["max_exemplar"])
+                    max_lines.append(line)
             lines.append(_sample_line(f"{name}_sum", labels, hist["sum"]))
             lines.append(_sample_line(f"{name}_count", labels, hist["count"]))
         if max_lines:

@@ -132,17 +132,48 @@ class Histogram:
 
     Values are simulated nanoseconds on every latency family this repo
     ships; the instrument itself is unit-agnostic.
+
+    ``observe`` optionally takes an *exemplar* — an opaque reference (a
+    span id from ``repro.obs.spans``) tying the observation to a concrete
+    trace. A bounded ring of recent ``(value, exemplar)`` pairs plus the
+    exemplar of the slowest observation are kept, so the Prometheus
+    exposition can annotate each bucket (and ``_max``) with a trace to go
+    look at. With no exemplars recorded, payloads and renders are
+    byte-identical to before.
     """
 
-    __slots__ = ("_dist", "_sum")
+    __slots__ = ("_dist", "_sum", "_exemplars", "_max_exemplar")
+
+    #: Recent exemplars retained per child (enough to cover every bucket).
+    EXEMPLAR_RING = 64
 
     def __init__(self) -> None:
         self._dist = Distribution()
         self._sum = 0.0
+        self._exemplars: "deque | None" = None
+        self._max_exemplar: tuple[float, str] | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self._dist.add(value)
         self._sum += float(value)
+        if exemplar:
+            if self._exemplars is None:
+                from collections import deque
+
+                self._exemplars = deque(maxlen=self.EXEMPLAR_RING)
+            self._exemplars.append((float(value), str(exemplar)))
+            if self._max_exemplar is None or value >= self._max_exemplar[0]:
+                self._max_exemplar = (float(value), str(exemplar))
+
+    @property
+    def exemplars(self) -> list[tuple[float, str]]:
+        """Recent (value, exemplar) pairs, oldest first."""
+        return list(self._exemplars) if self._exemplars else []
+
+    @property
+    def max_exemplar(self) -> tuple[float, str] | None:
+        """The exemplar of the slowest observation seen so far."""
+        return self._max_exemplar
 
     @property
     def count(self) -> int:
@@ -396,6 +427,12 @@ class MetricsRegistry:
             payload["buckets"] = [
                 [le, sum(1 for s in samples if s <= le)] for le in buckets
             ]
+        exemplars = child.exemplars
+        if exemplars:
+            # Only present when a span sink supplied exemplars, so metric
+            # snapshots without tracing stay byte-identical.
+            payload["exemplars"] = [[value, ref] for value, ref in exemplars]
+            payload["max_exemplar"] = list(child.max_exemplar)
         if include_samples:
             payload["samples"] = child.samples
         return payload
@@ -436,7 +473,7 @@ class _NullInstrument:
     def set_function(self, fn) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
 
 

@@ -60,9 +60,10 @@ class MigrationResult:
 class MigrationEngine:
     """Source-driven executor of the prepare/commit protocol."""
 
-    def __init__(self, clock, *, tracer=None):
+    def __init__(self, clock, *, tracer=None, spans=None):
         self._clock = clock
         self._tracer = tracer
+        self.spans = spans
         self.counters = CounterGroup()
         self._m_latency = None
         self._m_bytes = None
@@ -89,6 +90,22 @@ class MigrationEngine:
         ``aborted`` result so the rebalancer can retry on a later tick.
         Unexpected RPC statuses still raise.
         """
+        if self.spans is not None:
+            with self.spans.span(
+                "migrate",
+                "migrate",
+                node=source_store.name,
+                dest=dest_name,
+                object_id=str(object_id),
+            ) as sp:
+                result = self._migrate_inner(source_store, dest_name, object_id)
+                sp.annotate(status=result.status, bytes=result.bytes_moved)
+                return result
+        return self._migrate_inner(source_store, dest_name, object_id)
+
+    def _migrate_inner(
+        self, source_store, dest_name: str, object_id: ObjectID
+    ) -> MigrationResult:
         start_ns = self._clock.now_ns
         source = source_store.name
         descriptor = source_store.migration_descriptor(object_id)

@@ -110,6 +110,9 @@ class PlasmaStore:
         # Optional simulated-time tracer (set by the cluster builder when
         # tracing is requested); hot paths guard on it being None.
         self.tracer = None
+        # Optional span sink (repro.obs.spans), set by the cluster builder
+        # when distributed tracing is requested.
+        self.spans = None
         # Optional per-operation correlation context (see repro.obs); set
         # by the cluster builder alongside the tracer.
         self.correlation = None

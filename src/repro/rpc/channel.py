@@ -68,6 +68,7 @@ class Channel:
         rng: DeterministicRng,
         tracer=None,
         *,
+        spans=None,
         breaker=None,
         chaos=None,
         correlation=None,
@@ -78,6 +79,7 @@ class Channel:
         self._config = config
         self._rng = rng.spawn("rpc", local_host, server.host)
         self._tracer = tracer
+        self._spans = spans
         self._breaker = breaker
         self._chaos = chaos
         self._correlation = correlation
@@ -243,26 +245,20 @@ class Channel:
         track = self._latency is not None or self._config.hedge_quantile > 0
         start_ns = self._clock.now_ns if track else 0
         try:
-            if self._tracer is not None:
-                args = {}
-                rid = (
-                    self._correlation.current
-                    if self._correlation is not None
-                    else None
-                )
-                if rid is not None:
-                    args["rid"] = rid
-                with self._tracer.span(
+            if self._spans is not None:
+                with self._spans.span(
                     "rpc",
                     f"{service}.{method}",
-                    track=f"{self._local_host}->{self._server.host}",
-                    **args,
+                    node=f"{self._local_host}->{self._server.host}",
+                    **self._span_args(),
                 ):
-                    response = self._unary_call_inner(
+                    response = self._unary_call_traced(
                         service, method, request, deadline
                     )
             else:
-                response = self._unary_call_inner(service, method, request, deadline)
+                response = self._unary_call_traced(
+                    service, method, request, deadline
+                )
         except RpcStatusError as exc:
             self._observe_latency(method, start_ns)
             self._breaker_record(exc)
@@ -274,10 +270,50 @@ class Channel:
         self._breaker_record(None)
         return response
 
+    def _span_args(self) -> dict:
+        rid = self._correlation.current if self._correlation is not None else None
+        return {} if rid is None else {"rid": rid}
+
+    def _unary_call_traced(
+        self,
+        service: str,
+        method: str,
+        request: dict | None,
+        deadline_ns: float | None,
+    ) -> dict:
+        """The legacy-tracer wrapper layer, kept separate so the span-sink
+        and tracer instrumentation nest without duplicating the call."""
+        if self._tracer is not None:
+            with self._tracer.span(
+                "rpc",
+                f"{service}.{method}",
+                track=f"{self._local_host}->{self._server.host}",
+                **self._span_args(),
+            ):
+                return self._unary_call_inner(service, method, request, deadline_ns)
+        return self._unary_call_inner(service, method, request, deadline_ns)
+
+    def _charge_retry(
+        self, cost_ns: float, start_ns: int, deadline_ns: float | None
+    ) -> None:
+        """Charge *cost_ns* attributed to the retry component: backoff
+        intervals and the transport cost of repeat attempts are retry
+        amplification, not useful service time."""
+        if self._spans is not None:
+            with self._spans.component("retry"):
+                self._advance_within_deadline(cost_ns, start_ns, deadline_ns)
+        else:
+            self._advance_within_deadline(cost_ns, start_ns, deadline_ns)
+
     def _observe_latency(self, method: str, start_ns: int) -> None:
         if self._latency is not None:
             self._latency.labels(peer=self._server.host, method=method).observe(
-                self._clock.now_ns - start_ns
+                self._clock.now_ns - start_ns,
+                exemplar=(
+                    self._spans.current_span_id
+                    if self._spans is not None
+                    else None
+                ),
             )
 
     def _unary_call_inner(
@@ -353,9 +389,7 @@ class Channel:
                     raise RpcStatusError(status, detail)
                 self._gate_retry(RpcStatusError(status, detail))
                 self.counters.inc("retries")
-                self._advance_within_deadline(
-                    self._backoff_ns(attempt), start_ns, deadline_ns
-                )
+                self._charge_retry(self._backoff_ns(attempt), start_ns, deadline_ns)
                 continue
             if status is StatusCode.RESOURCE_EXHAUSTED:
                 # The server shed us under overload. Retryable — the peer is
@@ -368,9 +402,7 @@ class Channel:
                     raise err
                 self._gate_retry(err)
                 self.counters.inc("retries")
-                self._advance_within_deadline(
-                    self._backoff_ns(attempt), start_ns, deadline_ns
-                )
+                self._charge_retry(self._backoff_ns(attempt), start_ns, deadline_ns)
                 continue
             if status is not StatusCode.OK:
                 self.counters.inc("calls_failed")
@@ -402,7 +434,12 @@ class Channel:
         detail: str,
     ) -> None:
         """Account one transport-level failed attempt; retry or raise."""
-        self._advance_within_deadline(cost_ns, start_ns, deadline_ns)
+        if attempt > 0:
+            # A repeat attempt's wasted transport cost is retry
+            # amplification; the first attempt's cost is ordinary service.
+            self._charge_retry(cost_ns, start_ns, deadline_ns)
+        else:
+            self._advance_within_deadline(cost_ns, start_ns, deadline_ns)
         self.counters.inc("attempts_failed")
         if last:
             self.counters.inc("calls_failed")
@@ -415,9 +452,7 @@ class Channel:
             )
         )
         self.counters.inc("retries")
-        self._advance_within_deadline(
-            self._backoff_ns(attempt), start_ns, deadline_ns
-        )
+        self._charge_retry(self._backoff_ns(attempt), start_ns, deadline_ns)
 
     # -- streaming ---------------------------------------------------------------------
 
@@ -454,7 +489,20 @@ class Channel:
         deadline = self._effective_deadline(deadline_ns)
         start_ns = self._clock.now_ns if self._latency is not None else 0
         try:
-            responses = self._stream_call_inner(service, method, requests, deadline)
+            if self._spans is not None:
+                with self._spans.span(
+                    "rpc",
+                    f"{service}.{method}",
+                    node=f"{self._local_host}->{self._server.host}",
+                    **self._span_args(),
+                ):
+                    responses = self._stream_call_inner(
+                        service, method, requests, deadline
+                    )
+            else:
+                responses = self._stream_call_inner(
+                    service, method, requests, deadline
+                )
         except RpcStatusError as exc:
             self._observe_latency(method, start_ns)
             self._breaker_record(exc)

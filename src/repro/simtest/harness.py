@@ -52,6 +52,7 @@ from repro.common.errors import (
 from repro.common.ids import ObjectID
 from repro.common.units import MiB
 from repro.core import Cluster
+from repro.obs.spans import SpanConfig
 from repro.core.health import BreakerState
 from repro.placement.membership import NodeStatus
 from repro.scrub import Scrubber
@@ -94,6 +95,11 @@ class RunResult:
     steps: list[str]
     violations: list[Violation]
     mutation: str | None = None
+    # Post-mortem span dump: the per-node flight-recorder rings at the
+    # moment the run stopped (populated only when violations fired).
+    # Deterministic — replaying the same trace reproduces it byte for
+    # byte — so it ships next to the shrunk reproducer.
+    flight: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +165,11 @@ class SimulationRunner:
             check_remote_uniqueness=False,
             fault_plan=FaultPlan(),
             placement=True,
+            # Flight-recorder-only tracing: no head sampling and no
+            # retained traces (max_traces=0), just the bounded per-node
+            # rings — the crash dump a violation ships with. Tracing
+            # never advances the clock, so trace text is unchanged.
+            tracing=SpanConfig(sample_rate=0.0, max_traces=0),
         )
 
     # ------------------------------------------------------------------ run
@@ -181,12 +192,18 @@ class SimulationRunner:
                 self._converge_and_sweep()
         for violation in self.violations:
             self.steps.append(f"VIOLATION {violation.describe()}")
+        flight = None
+        if self.violations and self.cluster is not None:
+            sink = self.cluster.spans
+            if sink is not None:
+                flight = sink.flight_dump()
         return RunResult(
             seed=self.seed,
             ops=list(ops),
             steps=self.steps,
             violations=list(self.violations),
             mutation=self.mutation,
+            flight=flight,
         )
 
     # ------------------------------------------------------------------ helpers

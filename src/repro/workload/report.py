@@ -34,6 +34,13 @@ def bench_artifact_name(scenario_name: str) -> str:
     return f"BENCH_workload_{scenario_name}.json"
 
 
+def trace_artifact_name(scenario_name: str) -> str:
+    """The Chrome trace-event artifact ``--trace`` writes next to the
+    BENCH file (same byte-stability contract: deterministic sim-time
+    stamps, canonical serialization)."""
+    return f"TRACE_workload_{scenario_name}.json"
+
+
 def dumps_bench(payload: dict) -> str:
     """Canonical BENCH serialization: sorted keys, indent 2, newline."""
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -134,7 +141,42 @@ def build_workload_payload(result) -> dict:
     }
     if getattr(result, "overload_enabled", False):
         payload["overload"] = overload_block(result, duration_s)
+    if getattr(result, "tracing_enabled", False):
+        payload["latency_attribution"] = attribution_block(result)
     return payload
+
+
+def _attribution_table(table: dict) -> dict:
+    out = {}
+    for key, slot in sorted(table.items()):
+        observed = int(round(slot["observed_ns"]))
+        components = {
+            name: int(round(value))
+            for name, value in sorted(slot["components_ns"].items())
+        }
+        out[key] = {
+            "ops": slot["ops"],
+            "observed_ns": observed,
+            "components_ns": components,
+        }
+    return out
+
+
+def attribution_block(result) -> dict:
+    """The ``latency_attribution`` section of a BENCH payload: every
+    measured op's observed latency decomposed into critical-path
+    components (queue wait, server service time, fabric transfers, retry
+    amplification, hedged waits, client residual), summed per op kind and
+    per tenant. ``exact`` asserts the per-op invariant held for the whole
+    run: components summed to observed latency to the nanosecond. Only
+    present when the scenario ran with tracing — legacy artifacts stay
+    byte-identical."""
+    return {
+        "exact": bool(result.attribution_exact),
+        "by_kind": _attribution_table(result.attribution_by_kind),
+        "by_tenant": _attribution_table(result.attribution_by_tenant),
+        "sampling": dict(result.sampling),
+    }
 
 
 def overload_block(result, duration_s: float) -> dict:

@@ -34,6 +34,7 @@ from repro.common.stats import Distribution
 from repro.common.units import MiB
 from repro.core.cluster import Cluster
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import COMPONENTS, SpanConfig
 from repro.workload.admission import AdmissionController, TenantQuota
 from repro.workload.arrival import closed_loop_next
 from repro.workload.report import build_workload_payload
@@ -83,6 +84,17 @@ class WorkloadResult:
     overload_queue: Distribution = field(default_factory=Distribution)
     overload_server: dict[str, int] = field(default_factory=dict)
     overload_client: dict[str, int] = field(default_factory=dict)
+    # Span-tracing measurements (populated only when the scenario has an
+    # enabled ``tracing`` block): per-kind and per-tenant critical-path
+    # latency attribution — every measured op's observed latency decomposed
+    # ns-exact into queue/service/fabric/retry/hedge/client — plus the
+    # sink's sampling stats and the sink itself (for trace export).
+    tracing_enabled: bool = False
+    attribution_by_kind: dict[str, dict] = field(default_factory=dict)
+    attribution_by_tenant: dict[str, dict] = field(default_factory=dict)
+    attribution_exact: bool = True
+    sampling: dict = field(default_factory=dict)
+    spans: object | None = None
 
 
 def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
@@ -165,6 +177,7 @@ class ScenarioRunner:
             labels=("tenant", "direction"),
         )
         self.cluster: Cluster | None = None
+        self._spans = None
         self._slots: dict[int, _Slot] = {}
         self._next_oid = 0
         self._clients: list = []
@@ -181,6 +194,14 @@ class ScenarioRunner:
         shape = self.scenario.cluster
         weights = shape.node_weights()
         heterogeneous = any(w != 1.0 for w in weights.values())
+        tracing = None
+        spec = self.scenario.tracing
+        if spec is not None and spec.enabled:
+            tracing = SpanConfig(
+                sample_rate=spec.sample_rate,
+                tail_percentile=spec.tail_percentile,
+                flight_capacity=spec.flight_capacity,
+            )
         return Cluster(
             _config_for(self.scenario, self.seed),
             node_names=list(weights),
@@ -189,6 +210,7 @@ class ScenarioRunner:
             check_remote_uniqueness=False,
             placement=shape.placement,
             node_weights=weights if (shape.placement and heterogeneous) else None,
+            tracing=tracing,
         )
 
     def _fresh_oid(self) -> ObjectID:
@@ -316,6 +338,54 @@ class ScenarioRunner:
             self._next_burst_ns += self._burst_period_ns
 
     def _execute(self, op: WorkloadOp, issue_ns: int) -> None:
+        spans = self._spans
+        if spans is None:
+            self._execute_inner(op, issue_ns)
+            return
+        clock = self.cluster.clock
+        # The op's deadline (and observed latency) is anchored at its
+        # scheduled arrival; by the time _execute runs, the clock may be
+        # past it — that pre-dispatch backlog wait is queueing delay.
+        wait = clock.now_ns - issue_ns
+        with spans.span(
+            "op", op.kind, node="workload", tenant=op.tenant, slot=op.slot
+        ) as sp:
+            latency = self._execute_inner(op, issue_ns)
+        if latency is None:
+            return  # shed at ingress or rejected: no latency was measured
+        if wait > 0:
+            # Fold the backlog wait into the root's components post-close:
+            # the kept trace holds the same dict, so the export agrees.
+            sp.add_component("queue", wait)
+        components = sp.components
+        if sum(components.values()) != latency:
+            self.result.attribution_exact = False
+        self._accumulate_attribution(op, latency, components)
+
+    def _accumulate_attribution(
+        self, op: WorkloadOp, observed, components: dict
+    ) -> None:
+        result = self.result
+        for key, table in (
+            (op.kind, result.attribution_by_kind),
+            (op.tenant, result.attribution_by_tenant),
+        ):
+            slot = table.get(key)
+            if slot is None:
+                slot = table[key] = {
+                    "ops": 0,
+                    "observed_ns": 0,
+                    "components_ns": {c: 0 for c in COMPONENTS},
+                }
+            slot["ops"] += 1
+            slot["observed_ns"] += observed
+            bucket = slot["components_ns"]
+            for component, value in components.items():
+                bucket[component] += value
+
+    def _execute_inner(self, op: WorkloadOp, issue_ns: int):
+        """Run one op; returns the measured latency (ns), or ``None`` when
+        the op was shed/rejected before reaching the cluster."""
         clock = self.cluster.clock
         result = self.result
         self._maybe_burst()
@@ -339,7 +409,7 @@ class ScenarioRunner:
             self._m_ops.labels(
                 tenant=op.tenant, kind=op.kind, outcome="shed:expired"
             ).inc()
-            return
+            return None
         try:
             self.admission.admit(
                 op.tenant, op.kind, op.size_bytes, clock.now_ns
@@ -350,7 +420,7 @@ class ScenarioRunner:
                 tenant=op.tenant, kind=op.kind, outcome=outcome
             ).inc()
             result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
-            return
+            return None
         try:
             outcome = getattr(self, f"_do_{op.kind}")(op)
         except ReproError as exc:
@@ -366,6 +436,7 @@ class ScenarioRunner:
         result.latency_by_kind.setdefault(op.kind, Distribution()).add(latency)
         self._m_ops.labels(tenant=op.tenant, kind=op.kind, outcome=outcome).inc()
         self._m_latency.labels(tenant=op.tenant, kind=op.kind).observe(latency)
+        return latency
 
     def _collect_overload(self) -> None:
         """Merge per-server admission stats and per-channel retry/hedge
@@ -405,6 +476,10 @@ class ScenarioRunner:
                 and scenario.overload.op_deadline_ms > 0
             )
         self.cluster = self._build_cluster()
+        self._spans = self.cluster.spans
+        if self._spans is not None:
+            self.result.tracing_enabled = True
+            self.result.spans = self._spans
         self._clients = [
             self.cluster.client(name, client_name=f"wl-{name}")
             for name in self.cluster.node_names()
@@ -415,7 +490,13 @@ class ScenarioRunner:
             # clean queue so the experiment starts from steady state.
             for name in self.cluster.node_names():
                 self.cluster.node(name).server.overload.set_service_rate(0.0)
+        if self._spans is not None:
+            # Preload puts are setup, not measured ops: park the sink so
+            # they neither open spans nor skew the tail-keep distribution.
+            self._spans.enabled = False
         self._preload()
+        if self._spans is not None:
+            self._spans.enabled = True
         if scenario.overload is not None:
             for name in self.cluster.node_names():
                 model = self.cluster.node(name).server.overload
@@ -468,6 +549,8 @@ class ScenarioRunner:
         self.result.admission = self.admission.snapshot()
         if self.result.overload_enabled:
             self._collect_overload()
+        if self._spans is not None:
+            self.result.sampling = self._spans.sampling_stats()
         return self.result
 
 

@@ -571,6 +571,54 @@ class OverloadSpec:
         return {name: getattr(self, name) for name in self.FIELDS}
 
 
+# --------------------------------------------------------------------------- tracing
+
+
+@dataclass(frozen=True)
+class TracingSpec:
+    """Distributed span tracing for the run (see :mod:`repro.obs.spans`).
+
+    Present and enabled, every logical operation opens a root span whose
+    observed latency is decomposed — nanosecond-exact — into queue /
+    service / fabric / retry / hedge / client components, reported in the
+    artifact's ``latency_attribution`` section. ``sample_rate`` gates how
+    many full traces are *retained* (attribution always covers every op);
+    errors, sheds, and the slowest ``tail_percentile`` of ops are always
+    kept. Absent or disabled, the span plane is never built and artifacts
+    are byte-identical to previous schema versions.
+    """
+
+    enabled: bool = True
+    sample_rate: float = 1.0
+    tail_percentile: float = 0.99
+    flight_capacity: int = 512
+
+    FIELDS = ("enabled", "sample_rate", "tail_percentile", "flight_capacity")
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "TracingSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        enabled = data.get("enabled", True)
+        if not isinstance(enabled, bool):
+            raise _fail(f"{path}.enabled", f"expected a bool, got {enabled!r}")
+        return cls(
+            enabled=enabled,
+            sample_rate=_number(
+                data, "sample_rate", path, 1.0, lo=0.0, hi=1.0
+            ),
+            tail_percentile=_number(
+                data, "tail_percentile", path, 0.99, lo=0.0, hi=1.0
+            ),
+            flight_capacity=_number(
+                data, "flight_capacity", path, 512, lo=1, integer=True
+            ),
+        )
+
+    def to_obj(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
 # --------------------------------------------------------------------------- tenants
 
 
@@ -652,9 +700,10 @@ class Scenario:
     traffic: Traffic = field(default_factory=Traffic)
     tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
     overload: OverloadSpec | None = None
+    tracing: TracingSpec | None = None
 
     FIELDS = ("schema_version", "name", "description", "seed", "cluster",
-              "population", "traffic", "tenants", "overload")
+              "population", "traffic", "tenants", "overload", "tracing")
 
     @classmethod
     def from_obj(cls, obj: object, path: str = "scenario") -> "Scenario":
@@ -697,6 +746,11 @@ class Scenario:
                 if data.get("overload") is not None
                 else None
             ),
+            tracing=(
+                TracingSpec.from_obj(data["tracing"], f"{path}.tracing")
+                if data.get("tracing") is not None
+                else None
+            ),
         )
         if scenario.traffic.scan_length > scenario.population.objects:
             raise _fail(f"{path}.traffic.scan_length",
@@ -716,6 +770,8 @@ class Scenario:
         }
         if self.overload is not None:
             out["overload"] = self.overload.to_obj()
+        if self.tracing is not None:
+            out["tracing"] = self.tracing.to_obj()
         return out
 
     def with_seed(self, seed: int) -> "Scenario":

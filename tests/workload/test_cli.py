@@ -78,3 +78,59 @@ class TestList:
         out = capsys.readouterr().out
         assert "good" in out
         assert "INVALID" in out
+
+
+class TestTraceFlag:
+    def test_trace_writes_chrome_artifact_next_to_bench(
+        self, scenario_file, tmp_path, capsys
+    ):
+        out = tmp_path / "out"
+        rc = main([
+            "workload", "--scenario", str(scenario_file),
+            "--out", str(out), "--trace",
+        ])
+        assert rc == 0
+        trace_path = out / "TRACE_workload_mini.json"
+        assert trace_path.exists()
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        # Forcing tracing on also forces the attribution section into
+        # the BENCH payload, even though the scenario file has no
+        # tracing block.
+        payload = json.loads(
+            (out / "BENCH_workload_mini.json").read_text(encoding="utf-8")
+        )
+        assert payload["latency_attribution"]["exact"] is True
+        captured = capsys.readouterr().out
+        assert "attribution: exact=True" in captured
+        assert str(trace_path) in captured
+
+    def test_trace_with_twice_checks_both_artifacts(
+        self, scenario_file, tmp_path, capsys
+    ):
+        rc = main([
+            "workload", "--scenario", str(scenario_file),
+            "--out", str(tmp_path / "out"), "--trace", "--twice",
+        ])
+        assert rc == 0
+        assert "byte-identical: yes" in capsys.readouterr().out
+
+    def test_trace_artifact_is_deterministic(self, scenario_file, tmp_path):
+        texts = []
+        for label in ("a", "b"):
+            out = tmp_path / label
+            assert main([
+                "workload", "--scenario", str(scenario_file),
+                "--out", str(out), "--trace",
+            ]) == 0
+            texts.append(
+                (out / "TRACE_workload_mini.json").read_bytes()
+            )
+        assert texts[0] == texts[1]
+
+    def test_without_trace_no_trace_artifact(self, scenario_file, tmp_path):
+        out = tmp_path / "out"
+        assert main([
+            "workload", "--scenario", str(scenario_file), "--out", str(out),
+        ]) == 0
+        assert not (out / "TRACE_workload_mini.json").exists()
