@@ -274,6 +274,71 @@ class PlacementConfig:
 
 
 @dataclass(frozen=True)
+class TierConfig:
+    """Tiered memory (repro.tier): hot-object byte cache + promote/demote.
+
+    Disabled by default; a cluster built without ``tiering=True`` never
+    constructs any tier state, so every legacy artifact stays
+    byte-identical.
+    """
+
+    # Per-node hot-object byte cache capacity. 0 disables the cache while
+    # keeping heat tracking (promotion/demotion still runs).
+    cache_capacity_bytes: int = 8 * MiB
+    # TinyLFU admission sketch geometry (count-min, 4-bit counters).
+    sketch_width: int = 512
+    sketch_depth: int = 4
+    # Heat decays by half every this much simulated time; with
+    # sample_rate < 1 only a seeded fraction of accesses is recorded
+    # (weight-scaled, unbiased).
+    heat_half_life_ns: float = 500_000_000.0
+    heat_sample_rate: float = 1.0
+    # Promote a remote object to its reader once its decayed remote-read
+    # heat at that reader crosses this threshold.
+    promote_min_heat: float = 3.0
+    # Demote cold objects from nodes above the watermark until they are
+    # back at the target utilisation; destinations must stay below the
+    # watermark after absorbing the object.
+    demote_watermark: float = 0.85
+    demote_target: float = 0.70
+    # Tier-engine throttle, mirroring the rebalancer's tick shape.
+    bytes_per_tick: int = 4 * MiB
+    tick_interval_ns: float = 2_000_000.0
+    # A cache hit is a local DRAM copy: same shape (and default constants)
+    # as the calibrated local-memory model, with an independent jitter
+    # stream so enabling the cache never perturbs other subsystems' draws.
+    cache_hit_latency_ns: float = 15.0
+    cache_hit_bandwidth_bps: float = 6.5 * GiB
+    cache_hit_jitter_sigma: float = 0.01
+
+    def validate(self) -> None:
+        if self.cache_capacity_bytes < 0:
+            raise ValueError("cache_capacity_bytes must be non-negative")
+        if self.sketch_width < 1 or self.sketch_depth < 1:
+            raise ValueError("sketch geometry must be positive")
+        if self.heat_half_life_ns <= 0:
+            raise ValueError("heat_half_life_ns must be positive")
+        if not 0.0 < self.heat_sample_rate <= 1.0:
+            raise ValueError("heat_sample_rate must be in (0, 1]")
+        if self.promote_min_heat <= 0:
+            raise ValueError("promote_min_heat must be positive")
+        if not 0.0 < self.demote_target < self.demote_watermark <= 1.0:
+            raise ValueError(
+                "need 0 < demote_target < demote_watermark <= 1"
+            )
+        if self.bytes_per_tick <= 0:
+            raise ValueError("bytes_per_tick must be positive")
+        if self.tick_interval_ns < 0:
+            raise ValueError("tick_interval_ns must be non-negative")
+        if self.cache_hit_latency_ns < 0:
+            raise ValueError("cache_hit_latency_ns must be non-negative")
+        if self.cache_hit_bandwidth_bps <= 0:
+            raise ValueError("cache_hit_bandwidth_bps must be positive")
+        if self.cache_hit_jitter_sigma < 0:
+            raise ValueError("cache_hit_jitter_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
 class OverloadConfig:
     """Server-side admission control (repro.rpc.overload).
 
@@ -367,6 +432,7 @@ class ClusterConfig:
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
     placement: PlacementConfig = field(default_factory=PlacementConfig)
     overload: OverloadConfig = field(default_factory=OverloadConfig)
+    tier: TierConfig = field(default_factory=TierConfig)
     # Fraction of each node's store capacity carved out as the local
     # disaggregated region (paper: "a portion of local system memory is
     # marked as disaggregated").
@@ -406,6 +472,7 @@ class ClusterConfig:
         self.chaos.validate()
         self.placement.validate()
         self.overload.validate()
+        self.tier.validate()
         if self.rpc.retry_budget_per_s < 0:
             raise ValueError("retry_budget_per_s must be non-negative")
         if self.rpc.retry_budget_burst < 1:

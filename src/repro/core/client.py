@@ -132,6 +132,16 @@ class DisaggregatedClient(PlasmaClient):
     def _release_store_ref(self, object_id: ObjectID) -> None:
         self.store.release_object(object_id)
 
+    def tier_stats(self, peer: str | None = None) -> dict | None:
+        """The tiering-plane snapshot (cache counters, heat-tracker sizes)
+        for this client's node, or — with *peer* — for a peer store via its
+        Stats RPC. ``None`` when tiering is not enabled on the target."""
+        if peer is None:
+            agent = self.store.tier_agent
+            return agent.stats() if agent is not None else None
+        handle = self.store.peer(peer)
+        return handle.stub.Stats({}).get("tier")
+
     def subscribe_remote(self, peer_name: str) -> RemoteSubscription:
         """Subscribe to a *peer* store's seal/delete notifications.
 

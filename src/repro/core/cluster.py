@@ -45,6 +45,7 @@ from repro.rpc.overload import OverloadModel
 from repro.rpc.server import RpcServer
 from repro.rpc.status import StatusCode
 from repro.thymesisflow.fabric import ThymesisFabric
+from repro.tier import TierAgent, TierEngine
 
 _DIRECTORY_ALIGN = 4096
 
@@ -86,6 +87,7 @@ class Cluster:
         metrics: bool = False,
         placement: bool = False,
         node_weights: dict[str, float] | None = None,
+        tiering: bool = False,
     ):
         self._config = config or ClusterConfig()
         self._config.validate()
@@ -129,6 +131,12 @@ class Cluster:
         self._nodes: dict[str, ClusterNode] = {}
         self._sharing = sharing
         self._client_seq = 0
+        # Tiering (repro.tier): per-node agents built alongside the stores;
+        # the promotion/demotion engine follows in phase 5 (it needs the
+        # placement plane's migration machinery).
+        self._tiering = tiering
+        self._tier_agents: dict[str, TierAgent] = {}
+        self._tier_engine: TierEngine | None = None
 
         # 'hybrid' (paper §V-B) combines the hash-map directory for lookups
         # with dmsg rings for feedback RPCs — so it needs both layouts.
@@ -251,6 +259,10 @@ class Cluster:
             for node in self._nodes.values():
                 node.store.enable_placement(pcfg)
             self._publish_topology()
+            if tiering:
+                self._tier_engine = TierEngine(
+                    self, self._engine, self._tier_agents, self._config.tier
+                )
 
         # Phase 6: metrics plane (opt-in). One registry per node plus one
         # for the shared fabric; everything binds once, here, so hot paths
@@ -270,6 +282,8 @@ class Cluster:
                 placement_registry = MetricsRegistry(node="placement")
                 self._engine.attach_metrics(placement_registry)
                 self._attach_placement_gauges(placement_registry)
+                if self._tier_engine is not None:
+                    self._tier_engine.attach_metrics(placement_registry)
                 self._registries["placement"] = placement_registry
             self._telemetry = Telemetry(self._registries)
 
@@ -298,6 +312,15 @@ class Cluster:
         store.tracer = self._tracer
         store.spans = self._spans
         store.correlation = self._correlation
+        if self._tiering:
+            agent = TierAgent(
+                name,
+                self._config.tier,
+                self._clock,
+                self._rng.spawn("tier", name),
+            )
+            store.attach_tier(agent)
+            self._tier_agents[name] = agent
         server = RpcServer(name)
         server.tracer = self._tracer
         server.spans = self._spans
@@ -574,6 +597,30 @@ class Cluster:
         assert self._engine is not None
         return self._engine
 
+    # -- tiering (repro.tier) -----------------------------------------------------
+
+    @property
+    def tiering_enabled(self) -> bool:
+        return self._tiering
+
+    @property
+    def tier_engine(self) -> TierEngine | None:
+        """The promotion/demotion engine (None unless built with both
+        ``tiering=True`` and ``placement=True``)."""
+        return self._tier_engine
+
+    def tier_agent(self, name: str) -> TierAgent | None:
+        """One node's tier agent (None when tiering is off)."""
+        return self._tier_agents.get(name)
+
+    def tier_stats(self) -> dict[str, dict]:
+        """Per-node tier snapshot (empty when tiering is off)."""
+        return {
+            name: agent.stats()
+            for name, agent in sorted(self._tier_agents.items())
+            if name in self._nodes
+        }
+
     def _coordinator_name(self) -> str:
         """Lowest-named live ACTIVE member; falls back to any live member
         (e.g. every survivor is DRAINING during a scale-down)."""
@@ -763,6 +810,7 @@ class Cluster:
                 )
         membership.remove(name)
         del self._nodes[name]
+        self._tier_agents.pop(name, None)
         node.server.shutdown()
         for other in self._nodes.values():
             other.channels.pop(name, None)
@@ -873,6 +921,11 @@ class Cluster:
         store.tracer = self._tracer
         store.spans = self._spans
         store.correlation = self._correlation
+        agent = self._tier_agents.get(name)
+        if agent is not None:
+            # Same agent instance, fresh state: store.recover() resets the
+            # cache and heat — process state that died with the old store.
+            store.attach_tier(agent)
         if node.directory is not None:
             # The directory's buckets live in the region and survived; the
             # recovered store re-attaches the same instance.

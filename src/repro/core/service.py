@@ -228,11 +228,17 @@ class StoreService(Service):
     @rpc_method
     def Stats(self, request: dict) -> dict:
         """Operational snapshot (used by examples and debugging, not by any
-        hot path)."""
-        return {
+        hot path). With the tiering plane attached the reply carries the
+        node's tier agent snapshot (cache counters + heat-tracker sizes) so
+        an operator can read hit rates over the wire."""
+        out = {
             "store": self._store.name,
             "node": self._store.node,
             "objects": self._store.object_count(),
             "used_bytes": self._store.used_bytes,
             "capacity_bytes": self._store.capacity_bytes,
         }
+        agent = self._store.tier_agent
+        if agent is not None:
+            out["tier"] = agent.stats()
+        return out

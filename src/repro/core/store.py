@@ -48,11 +48,13 @@ from repro.plasma.buffer import (
     RemoteReadIntegrity,
 )
 from repro.plasma.entry import ObjectEntry
+from repro.plasma.eviction import HeatAwareEvictionPolicy
 from repro.plasma.notifications import SealNotification
 from repro.plasma.store import PlasmaStore
 from repro.rpc.status import StatusCode
 from repro.common.errors import RpcStatusError
 from repro.thymesisflow.endpoint import ThymesisEndpoint
+from repro.tier.source import CachedBufferSource, TierBufferSource
 
 
 class DisaggregatedStore(PlasmaStore):
@@ -119,6 +121,11 @@ class DisaggregatedStore(PlasmaStore):
         self._pending_adoptions: set[ObjectID] = set()
         self._deferred_retires: set[ObjectID] = set()
         self._m_get = None
+        # Tiering (repro.tier): the node's TierAgent — hot-object byte
+        # cache plus heat trackers. None until the cluster enables tiering;
+        # every tier branch below is branch-on-None so the disabled path is
+        # byte-identical to a build without the subsystem.
+        self._tier = None
 
     # -- observability -----------------------------------------------------------
 
@@ -147,6 +154,34 @@ class DisaggregatedStore(PlasmaStore):
             cache = self._lookup_cache
             entries.labels(store=self._name).set_function(lambda: len(cache))
             hit_rate.labels(store=self._name).set_function(lambda: cache.hit_rate)
+            events = registry.gauge(
+                "cache_events",
+                "Lookup-cache event counts since start "
+                "(hits/misses/evictions/invalidations).",
+                labels=("store", "event"),
+            )
+            for event in ("hits", "misses", "evictions", "invalidations"):
+                events.labels(store=self._name, event=event).set_function(
+                    lambda e=event: getattr(cache, e)
+                )
+        if self._tier is not None and self._tier.cache is not None:
+            tier_cache = self._tier.cache
+            specs = (
+                ("tier_cache_entries", "Live hot-object cache entries.",
+                 lambda: len(tier_cache)),
+                ("tier_cache_bytes", "Bytes held by the hot-object cache.",
+                 lambda: tier_cache.used_bytes),
+                ("tier_cache_hit_rate",
+                 "Hot-object cache hit rate since start.",
+                 lambda: tier_cache.hit_rate),
+                ("tier_cache_bytes_avoided",
+                 "Fabric read bytes served from the hot-object cache.",
+                 lambda: tier_cache.bytes_avoided),
+            )
+            for gauge_name, help_text, fn in specs:
+                registry.gauge(
+                    gauge_name, help_text, labels=("store",)
+                ).labels(store=self._name).set_function(fn)
 
     # -- topology ---------------------------------------------------------------
 
@@ -167,6 +202,10 @@ class DisaggregatedStore(PlasmaStore):
         self._readers.pop(name, None)
         if self._lookup_cache is not None:
             self._lookup_cache.invalidate_node(name)
+        if self._tier is not None and self._tier.cache is not None:
+            # Payload bytes cached from the departed home may outlive any
+            # NotifyDeleted it could no longer send — drop them wholesale.
+            self._tier.cache.invalidate_home(name)
         stale = [
             oid
             for oid, record in self._remote_records.items()
@@ -196,6 +235,24 @@ class DisaggregatedStore(PlasmaStore):
     @property
     def lookup_cache(self) -> LookupCache | None:
         return self._lookup_cache
+
+    # -- tiering (repro.tier) -----------------------------------------------------
+
+    def attach_tier(self, agent) -> None:
+        """Arm the tiering plane: *agent* fronts every materialising fabric
+        read with its hot-object cache and feeds the heat trackers the
+        promotion/demotion engine plans from. Capacity-pressure eviction is
+        upgraded to coldest-first so it agrees with demotion about victims."""
+        self._tier = agent
+        policy = HeatAwareEvictionPolicy(
+            self._region.size, self._config.eviction_batch_fraction
+        )
+        policy.heat_probe = agent.local_heat.heat
+        self._eviction = policy
+
+    @property
+    def tier_agent(self):
+        return self._tier
 
     # -- hashmap-sharing wiring (ablation E6) -----------------------------------
 
@@ -255,6 +312,11 @@ class DisaggregatedStore(PlasmaStore):
         )
         if self._lookup_cache is not None:
             self._lookup_cache.set_epoch(view.epoch)
+        if self._tier is not None and self._tier.cache is not None:
+            # A topology change moves objects (drain migrations, crash
+            # failovers) faster than per-object notifications can keep up;
+            # the epoch bump is the wholesale invalidation channel.
+            self._tier.cache.clear()
         self.counters.inc("topology_installs")
         return True
 
@@ -650,8 +712,34 @@ class DisaggregatedStore(PlasmaStore):
                         )
                     self.table.add_ref(oid)
                     buffers[oid] = self.local_buffer(entry)
+                    if self._tier is not None:
+                        self._tier.note_local_get(oid)
                 else:
                     missing.append(oid)
+        served_cached = 0
+        if missing and self._tier is not None and self._notify_deletions:
+            # Pre-resolution fast path: a cached incarnation can be served
+            # without touching the home at all — no Lookup, no AddRef/
+            # ReleaseRef round trips, no fabric stream. Sound only because
+            # deletes and evictions *push* NotifyDeleted to every peer
+            # (hence the gate), so anything still cached is live.
+            unresolved: list[ObjectID] = []
+            for oid in missing:
+                if oid in self._remote_records:
+                    # A held handle pinned this incarnation at its home;
+                    # keep the resolving path's refcounts authoritative.
+                    unresolved.append(oid)
+                    continue
+                hit = self._tier.serve_cached(oid)
+                if hit is None:
+                    unresolved.append(oid)
+                    continue
+                _, payload, home = hit
+                buffers[oid] = self._cache_served_buffer(oid, payload, home)
+                self._tier.note_served(oid)
+                self._tier.note_remote_get(oid)
+                served_cached += 1
+            missing = unresolved
         found_remote = 0
         if missing:
             records = self._resolve_remote(missing, allow_missing)
@@ -666,9 +754,15 @@ class DisaggregatedStore(PlasmaStore):
                 record.local_refs += 1
                 buffers[oid] = self._remote_buffer(record)
                 found_remote += 1
+                if self._tier is not None:
+                    self._tier.note_remote_get(oid)
             self._pin_at_home(newly_pinned)
-        self.counters.inc("gets_local", len(object_ids) - len(missing))
+        self.counters.inc(
+            "gets_local", len(object_ids) - len(missing) - served_cached
+        )
         self.counters.inc("gets_remote", found_remote)
+        if served_cached:
+            self.counters.inc("gets_cache_served", served_cached)
         return [buffers[oid] for oid in object_ids]
 
     def _resolve_remote(
@@ -873,12 +967,29 @@ class DisaggregatedStore(PlasmaStore):
         source = RemoteBufferSource(
             handle.remote_region, record.offset, self._integrity_for(record)
         )
+        if self._tier is not None and self._tier.cache is not None:
+            source = TierBufferSource(
+                source, record, handle.remote_region, self._tier, self
+            )
         return PlasmaBuffer(
             record.object_id,
             source,
             record.data_size,
             sealed=True,
             metadata=record.metadata,
+        )
+
+    def _cache_served_buffer(
+        self, object_id: ObjectID, payload: bytes, home: str
+    ) -> PlasmaBuffer:
+        """A handle over a cache-resident payload copy (the pre-resolution
+        fast path); reads charge the local-copy model and credit the home
+        link with the fabric stream they replaced."""
+        handle = self._peers.get(home)
+        link = handle.remote_region.aperture.link if handle is not None else None
+        source = CachedBufferSource(payload, home, self._tier, self, link)
+        return PlasmaBuffer(
+            object_id, source, len(payload), sealed=True
         )
 
     def _integrity_for(
@@ -913,6 +1024,10 @@ class DisaggregatedStore(PlasmaStore):
         old = self._remote_records.get(object_id)
         if self._lookup_cache is not None:
             self._lookup_cache.invalidate(object_id)
+        if self._tier is not None and self._tier.cache is not None:
+            # The generation moved on; entries keyed by the old one can
+            # never hit again — reclaim their bytes now.
+            self._tier.cache.invalidate(object_id)
         resolved: dict[ObjectID, RemoteObjectRecord] = {}
         if self._sharing in ("hashmap", "hybrid"):
             self._hashmap_lookup([object_id], resolved)
@@ -1121,6 +1236,8 @@ class DisaggregatedStore(PlasmaStore):
         """Release one reference, local or remote."""
         record = self._remote_records.get(object_id)
         if record is None:
+            if self._tier is not None and self._tier.release_served(object_id):
+                return  # a cache-served buffer: no table entry, no record
             self.release_ref(object_id)
             return
         if record.local_refs <= 0:
@@ -1210,6 +1327,11 @@ class DisaggregatedStore(PlasmaStore):
             for entry in list(self.table):
                 if entry.quarantined:
                     self._retract_from_directory(entry.object_id)
+        if self._tier is not None:
+            # Cache and heat are process state; a crash may also have eaten
+            # invalidation pushes addressed to us, so nothing cached before
+            # the restart can be trusted.
+            self._tier.reset()
         return report
 
     def invalidate_cached_lookups(self, object_ids: list[ObjectID]) -> None:
@@ -1218,6 +1340,8 @@ class DisaggregatedStore(PlasmaStore):
         for oid in object_ids:
             if self._lookup_cache is not None:
                 self._lookup_cache.invalidate(oid)
+            if self._tier is not None and self._tier.cache is not None:
+                self._tier.cache.invalidate(oid)
             record = self._remote_records.get(oid)
             if record is not None and record.local_refs == 0:
                 del self._remote_records[oid]

@@ -56,9 +56,11 @@ class CacheModel:
 
     The model intentionally tracks *residency* (for timing: cached ranges
     read faster) and *staleness* (for correctness: Fig 3b) and nothing else.
-    Replacement is FIFO over inserted ranges, bounded by
-    ``cache_capacity_bytes`` — a deliberate simplification; replacement
-    policy does not affect any behaviour the paper measures.
+    Replacement is LRU over accessed ranges, bounded by
+    ``cache_capacity_bytes``: every read or write touch refreshes its
+    range's recency, and capacity pressure evicts the least recently
+    touched range first — matching how a real set-associative cache ages
+    out streaming traffic while pinning the working set.
     """
 
     def __init__(self, mem: HostMemory, config: LocalMemoryConfig | None = None):
@@ -68,8 +70,9 @@ class CacheModel:
         self._capacity = self._config.cache_capacity_bytes
         self._resident = IntervalSet()
         self._resident_bytes = 0
-        # Insertion-ordered ranges for FIFO eviction: (start, stop).
-        self._fifo: OrderedDict[tuple[int, int], None] = OrderedDict()
+        # Recency-ordered ranges for LRU eviction: (start, stop), least
+        # recently accessed first.
+        self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
         # Stale snapshots: absolute start offset -> old bytes.
         self._stale: dict[int, bytes] = {}
 
@@ -86,12 +89,16 @@ class CacheModel:
         added = (stop - start) - self._resident.overlap(start, stop)
         self._resident.add(start, stop)
         self._resident_bytes += added
-        self._fifo[(start, stop)] = None
+        key = (start, stop)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+        else:
+            self._lru[key] = None
         self._evict_to_capacity()
 
     def _evict_to_capacity(self) -> None:
-        while self._resident_bytes > self._capacity and self._fifo:
-            (start, stop), _ = self._fifo.popitem(last=False)
+        while self._resident_bytes > self._capacity and self._lru:
+            (start, stop), _ = self._lru.popitem(last=False)
             removed = self._resident.overlap(start, stop)
             if removed:
                 self._resident.remove(start, stop)
@@ -213,7 +220,7 @@ class CacheModel:
         """Drop the whole cache."""
         self._resident.clear()
         self._resident_bytes = 0
-        self._fifo.clear()
+        self._lru.clear()
         self._stale.clear()
 
     # -- introspection -----------------------------------------------------------------

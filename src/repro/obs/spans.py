@@ -51,13 +51,19 @@ from dataclasses import dataclass, field
 SPAN_SCHEMA_VERSION = 1
 
 #: The critical-path components every traced op's latency decomposes into.
-COMPONENTS = ("client", "fabric", "hedge", "queue", "retry", "service")
+COMPONENTS = ("cache", "client", "fabric", "hedge", "queue", "retry", "service")
+
+#: The component set before tiering existed; the workload report keeps
+#: emitting exactly these buckets when a scenario runs without a tiering
+#: block, so legacy BENCH artifacts stay byte-identical.
+LEGACY_COMPONENTS = ("client", "fabric", "hedge", "queue", "retry", "service")
 
 #: Span categories that pin clock advances to a component. A category not
 #: listed here (``op``, ``store``, ``migrate``, …) inherits the innermost
 #: mapped ancestor; with no mapped ancestor the time is "client" — the
 #: residual the operation spent outside any modelled server/fabric wait.
 CATEGORY_COMPONENTS = {
+    "cache": "cache",
     "client": "client",
     "fabric": "fabric",
     "hedge": "hedge",

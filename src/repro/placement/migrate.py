@@ -82,13 +82,22 @@ class MigrationEngine:
             "Payload size of each completed migration.",
         ).labels()
 
-    def migrate(self, source_store, dest_name: str, object_id: ObjectID) -> MigrationResult:
+    def migrate(
+        self,
+        source_store,
+        dest_name: str,
+        object_id: ObjectID,
+        *,
+        reason: str = "rebalance",
+    ) -> MigrationResult:
         """Move *object_id* from *source_store* to peer *dest_name*.
 
         Never raises for the expected failure modes (object vanished,
         destination unreachable mid-protocol) — those come back as an
         ``aborted`` result so the rebalancer can retry on a later tick.
-        Unexpected RPC statuses still raise.
+        Unexpected RPC statuses still raise. *reason* labels who asked
+        (``rebalance``, or the tier engine's ``promote``/``demote``) in the
+        span annotation and the per-reason counters.
         """
         if self.spans is not None:
             with self.spans.span(
@@ -97,11 +106,17 @@ class MigrationEngine:
                 node=source_store.name,
                 dest=dest_name,
                 object_id=str(object_id),
+                reason=reason,
             ) as sp:
                 result = self._migrate_inner(source_store, dest_name, object_id)
                 sp.annotate(status=result.status, bytes=result.bytes_moved)
+                if result.moved:
+                    self.counters.inc(f"migrations_{reason}")
                 return result
-        return self._migrate_inner(source_store, dest_name, object_id)
+        result = self._migrate_inner(source_store, dest_name, object_id)
+        if result.moved:
+            self.counters.inc(f"migrations_{reason}")
+        return result
 
     def _migrate_inner(
         self, source_store, dest_name: str, object_id: ObjectID

@@ -88,10 +88,13 @@ class Rebalancer:
     def misplaced(self) -> list[tuple[str, ObjectID, int]]:
         """``(holder, object_id, data_size)`` for every sealed primary whose
         ring home is a *different* ACTIVE member. Replicas, unsealed and
-        quarantined objects are placement-neutral and skipped. Sorted
-        (holder, id) so every run walks the same plan."""
+        quarantined objects are placement-neutral and skipped — and so are
+        objects the tier engine deliberately placed off their ring home
+        (promotions/demotions), else the two engines would ping-pong them.
+        Sorted (holder, id) so every run walks the same plan."""
         ring = self._cluster.placement_ring()
         view = self._cluster.membership.view()
+        tier = getattr(self._cluster, "tier_engine", None)
         plan: list[tuple[str, ObjectID, int]] = []
         for name in self._source_names():
             store = self._cluster.store(name)
@@ -103,6 +106,8 @@ class Rebalancer:
                 ]
             for oid, size in sorted(entries):
                 if store.is_replica(oid):
+                    continue
+                if tier is not None and tier.is_tier_placed(oid):
                     continue
                 home = ring.home(oid)
                 if home == name:

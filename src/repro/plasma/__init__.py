@@ -29,6 +29,7 @@ from repro.plasma.eviction import (
     EvictionDecision,
     EvictionPolicy,
     FifoEvictionPolicy,
+    HeatAwareEvictionPolicy,
     LargestFirstEvictionPolicy,
     LruEvictionPolicy,
     create_eviction_policy,
@@ -46,6 +47,7 @@ __all__ = [
     "RemoteBufferSource",
     "LruEvictionPolicy",
     "FifoEvictionPolicy",
+    "HeatAwareEvictionPolicy",
     "LargestFirstEvictionPolicy",
     "EvictionPolicy",
     "EvictionDecision",

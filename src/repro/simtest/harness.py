@@ -146,6 +146,9 @@ class SimulationRunner:
         # workload plane tracks footprint.
         self.admission = AdmissionController()
         self._tenant_of: dict[int, tuple[str, int]] = {}
+        # Cache-coherence oracle state: set by _read when the hot-object
+        # cache (not the fabric) produced the bytes of the last get.
+        self._last_cached: tuple[int, str] | None = None
         self.cluster: Cluster | None = None
 
     # ------------------------------------------------------------------ setup
@@ -165,6 +168,10 @@ class SimulationRunner:
             check_remote_uniqueness=False,
             fault_plan=FaultPlan(),
             placement=True,
+            # Tiering plane armed: every get runs through the hot-object
+            # cache (exercising its coherence machinery under faults) and
+            # the promote/demote ops drive the tier engine directly.
+            tiering=True,
             # Flight-recorder-only tracing: no head sampling and no
             # retained traces (max_traces=0), just the bounded per-node
             # rings — the crash dump a violation ships with. Tracing
@@ -377,6 +384,13 @@ class SimulationRunner:
 
     def _read(self, node: str, oid: ObjectID) -> tuple[str, bytes | None]:
         client = self._client(node)
+        # Arm the coherence oracle: clear the node cache's last-served
+        # stamp so a hit during *this* get is unambiguously attributable.
+        agent = client.store.tier_agent
+        cache = agent.cache if agent is not None else None
+        self._last_cached = None
+        if cache is not None:
+            cache.last_served = None
         try:
             buffers = client.get([oid], allow_missing=True)
         except ObjectUnavailableError:
@@ -400,6 +414,12 @@ class SimulationRunner:
             return f"error:{type(exc).__name__}", None
         finally:
             client.release(oid)
+        if (
+            cache is not None
+            and cache.last_served is not None
+            and cache.last_served[0] == oid
+        ):
+            self._last_cached = (cache.last_served[1], node)
         return "ok", data
 
     def _judge_get(
@@ -412,16 +432,35 @@ class SimulationRunner:
     ) -> None:
         excused = self._degraded_visibility(node)
         if outcome == "ok":
+            cached = self._last_cached
             if state is None:
                 self._violate("phantom-object", f"get({obj}) returned bytes "
                               "for an object that was never put")
             elif state is ObjState.DELETED_CLEAN:
                 self._violate("resurrection", f"get({obj}) returned bytes "
                               "after a clean delete")
+                if cached is not None:
+                    # The dangerous staleness the cache could introduce: a
+                    # serve that outlived the object's delete-invalidation
+                    # push. Reported under its own kind so shrinking homes
+                    # in on the coherence machinery, not the delete path.
+                    self._violate(
+                        "cache-incoherence",
+                        f"get({obj}) on {node} was served generation "
+                        f"{cached[0]} from the hot-object cache after a "
+                        "clean delete",
+                    )
             elif data != payload_for(obj, self.model.size(obj)):
                 self._violate("wrong-bytes", f"get({obj}) returned "
                               f"{len(data)} bytes that do not match the "
                               "generated payload")
+                if cached is not None:
+                    self._violate(
+                        "cache-incoherence",
+                        f"get({obj}) on {node}: hot-object cache served "
+                        f"generation {cached[0]} whose bytes do not match "
+                        "the model payload",
+                    )
             return
         if outcome == "corrupt":
             self._violate("corruption", f"get({obj}) raised corruption")
@@ -635,6 +674,35 @@ class SimulationRunner:
         self._degraded = {p for p in self._degraded if node not in p}
         return "ok"
 
+    def _do_promote(self, op: Op) -> str:
+        node = str(op["node"])
+        obj = int(op["obj"])
+        engine = self.cluster.tier_engine
+        if engine is None:
+            return "skip:no-tier"
+        if node not in self._up():
+            return "skip:node-down"
+        try:
+            result = engine.promote(ObjectID.from_int(obj), node)
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        if result is None:
+            return "skip:no-source"
+        return "ok:moved" if result.moved else f"abort:{result.status}"
+
+    def _do_demote(self, op: Op) -> str:
+        obj = int(op["obj"])
+        engine = self.cluster.tier_engine
+        if engine is None:
+            return "skip:no-tier"
+        try:
+            result = engine.demote(ObjectID.from_int(obj))
+        except ReproError as exc:
+            return f"fail:{type(exc).__name__}"
+        if result is None:
+            return "skip:no-dest"
+        return "ok:moved" if result.moved else f"abort:{result.status}"
+
     def _do_scrub(self, op: Op) -> str:
         node = str(op["node"])
         if node not in self._up():
@@ -804,6 +872,11 @@ class SimulationRunner:
             )
             return
 
+        # Tier placements are deliberate deviations from the ring; hand
+        # authority back so the sweep can hold every object to its ring
+        # home (the rebalancer re-homes whatever the tier engine moved).
+        if cluster.tier_engine is not None:
+            cluster.tier_engine.clear_placements()
         report = cluster.rebalancer.run_until_converged()
         if not report.converged:
             self._violate(

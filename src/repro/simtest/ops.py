@@ -44,6 +44,13 @@ OP_SCHEMA: Mapping[str, tuple[str, ...]] = {
     # then drains (and sheds) at that rate.
     "set_service_rate": ("node", "rate"),
     "overload_burst": ("node", "ms"),
+    # Tiered memory (repro.tier): targeted moves through the promotion/
+    # demotion engine — promote pulls an object's primary to a reading
+    # node, demote pushes it to the most capacity-rich peer. Both reuse
+    # two-phase migration, so they interleave with crashes and partitions
+    # exactly like rebalancer moves.
+    "promote": ("obj", "node"),
+    "demote": ("obj",),
     # Maintenance / time.
     "scrub": ("node",),
     "rebalance": (),

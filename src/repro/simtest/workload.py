@@ -48,6 +48,8 @@ WEIGHTS: tuple[tuple[str, int], ...] = (
     ("blackhole", 2),
     ("set_service_rate", 2),
     ("overload_burst", 2),
+    ("promote", 3),
+    ("demote", 2),
     ("add_node", 2),
     ("drain", 2),
     ("remove", 1),
@@ -208,6 +210,16 @@ def generate_ops(seed: int, n_ops: int) -> list[Op]:
                     node=str(rng.choice(book.present())),
                     ms=int(rng.choice(list(_BURST_MS))),
                 )
+        elif kind == "promote":
+            if book.live_objs and book.up():
+                op = make(
+                    "promote",
+                    obj=int(rng.choice(book.live_objs)),
+                    node=str(rng.choice(book.up())),
+                )
+        elif kind == "demote":
+            if book.live_objs:
+                op = make("demote", obj=int(rng.choice(book.live_objs)))
         elif kind == "add_node":
             if len(book.present()) < MAX_NODES:
                 name = f"sim{book.next_node}"

@@ -204,6 +204,14 @@ class OpenCapiLink:
         self.counters.inc("write_ops")
         return cost
 
+    def note_read_avoided(self, nbytes: int) -> None:
+        """A hot-object cache hit served bytes this link would otherwise
+        have streamed. Pure accounting — no clock advance, no RNG draw —
+        so enabling the cache never perturbs fabric timing for the reads
+        that *do* happen."""
+        self.counters.inc("read_bytes_avoided", nbytes)
+        self.counters.inc("reads_avoided")
+
     def charge_single_access(self) -> float:
         """One unpipelined load/store (≤ a cache line) round trip."""
         self._gate()

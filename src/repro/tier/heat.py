@@ -1,0 +1,89 @@
+"""Exponentially-decayed per-object heat on simulated time.
+
+The promotion/demotion engine needs "how hot is this object *now*", not an
+all-time access count. Each recorded access adds weight that then halves
+every ``half_life_ns`` of simulated time — computed lazily from the clock,
+so idle objects cost nothing to cool.
+
+With ``sample_rate < 1`` only a seeded fraction of accesses is recorded
+(each with its weight scaled up by ``1/sample_rate``, keeping the estimate
+unbiased) — the decay-sampling knob that bounds tracker overhead on very
+hot paths. All draws come from the tracker's own spawned RNG stream, so
+sampling never perturbs any other subsystem's randomness.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.ids import ObjectID
+from repro.common.rng import DeterministicRng
+
+
+class HeatTracker:
+    """Decay-sampled access heat, keyed by object id."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        half_life_ns: float,
+        sample_rate: float = 1.0,
+        rng: DeterministicRng | None = None,
+    ):
+        if half_life_ns <= 0:
+            raise ValueError("heat half-life must be positive")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample rate must be in (0, 1]")
+        if sample_rate < 1.0 and rng is None:
+            raise ValueError("sub-unit sampling needs a seeded rng")
+        self._clock = clock
+        self._half_life_ns = float(half_life_ns)
+        self._sample_rate = float(sample_rate)
+        self._rng = rng
+        self._heat: dict[ObjectID, tuple[float, int]] = {}
+
+    def _decay(self, dt_ns: int) -> float:
+        return 0.5 ** (dt_ns / self._half_life_ns) if dt_ns > 0 else 1.0
+
+    def record(self, object_id: ObjectID, weight: float = 1.0) -> None:
+        if self._sample_rate < 1.0:
+            if self._rng.uniform(0.0, 1.0) >= self._sample_rate:
+                return
+            weight = weight / self._sample_rate
+        now = self._clock.now_ns
+        value, last_ns = self._heat.get(object_id, (0.0, now))
+        self._heat[object_id] = (value * self._decay(now - last_ns) + weight, now)
+
+    def heat(self, object_id: ObjectID) -> float:
+        entry = self._heat.get(object_id)
+        if entry is None:
+            return 0.0
+        value, last_ns = entry
+        return value * self._decay(self._clock.now_ns - last_ns)
+
+    def hottest(self) -> list[tuple[ObjectID, float]]:
+        """Every tracked object with its current heat, hottest first (ties
+        broken by id so plans are deterministic)."""
+        now = self._clock.now_ns
+        ranked = [
+            (oid, value * self._decay(now - last_ns))
+            for oid, (value, last_ns) in self._heat.items()
+        ]
+        ranked.sort(key=lambda kv: (-kv[1], kv[0]))
+        return ranked
+
+    def forget(self, object_id: ObjectID) -> None:
+        self._heat.pop(object_id, None)
+
+    def prune(self, epsilon: float = 1e-3) -> int:
+        """Drop entries that cooled below *epsilon*; returns how many."""
+        cold = [oid for oid, _ in self._heat.items() if self.heat(oid) < epsilon]
+        for oid in cold:
+            del self._heat[oid]
+        return len(cold)
+
+    def clear(self) -> None:
+        self._heat.clear()
+
+    def __len__(self) -> int:
+        return len(self._heat)

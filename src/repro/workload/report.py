@@ -143,6 +143,8 @@ def build_workload_payload(result) -> dict:
         payload["overload"] = overload_block(result, duration_s)
     if getattr(result, "tracing_enabled", False):
         payload["latency_attribution"] = attribution_block(result)
+    if getattr(result, "tiering_enabled", False):
+        payload["tiering"] = result.tiering
     return payload
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field, replace
 
-from repro.common.config import ClusterConfig, OverloadConfig
+from repro.common.config import ClusterConfig, OverloadConfig, TierConfig
 from repro.common.errors import AdmissionRejectedError, ReproError
 from repro.common.ids import ObjectID
 from repro.common.rng import DeterministicRng
@@ -34,7 +34,7 @@ from repro.common.stats import Distribution
 from repro.common.units import MiB
 from repro.core.cluster import Cluster
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import COMPONENTS, SpanConfig
+from repro.obs.spans import COMPONENTS, LEGACY_COMPONENTS, SpanConfig
 from repro.workload.admission import AdmissionController, TenantQuota
 from repro.workload.arrival import closed_loop_next
 from repro.workload.report import build_workload_payload
@@ -95,6 +95,11 @@ class WorkloadResult:
     attribution_exact: bool = True
     sampling: dict = field(default_factory=dict)
     spans: object | None = None
+    # Tiering measurements (populated only when the scenario has a
+    # ``tiering`` block): merged per-node hot-object cache stats, tier
+    # engine counters, and the fabric bytes the cache kept off the wire.
+    tiering_enabled: bool = False
+    tiering: dict = field(default_factory=dict)
 
 
 def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
@@ -135,7 +140,25 @@ def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
             hedge_quantile=spec.hedge_quantile,
             hedge_min_samples=spec.hedge_min_samples,
         )
-    return replace(config, fabric=fabric, rpc=rpc, overload=overload)
+    tier = config.tier
+    tspec = scenario.tiering
+    if tspec is not None:
+        # tick_interval_ns stays 0: engine ticks ride the op stream (every
+        # ``tick_every_ops`` executed ops), so the only clock advances are
+        # the migrations' own modelled transfer costs.
+        tier = TierConfig(
+            cache_capacity_bytes=tspec.cache_capacity_mib * MiB,
+            sketch_width=tspec.sketch_width,
+            sketch_depth=tspec.sketch_depth,
+            heat_half_life_ns=tspec.heat_half_life_ms * 1e6,
+            heat_sample_rate=tspec.heat_sample_rate,
+            promote_min_heat=tspec.promote_min_heat,
+            demote_watermark=tspec.demote_watermark,
+            demote_target=tspec.demote_target,
+            bytes_per_tick=tspec.bytes_per_tick_mib * MiB,
+            tick_interval_ns=0.0,
+        )
+    return replace(config, fabric=fabric, rpc=rpc, overload=overload, tier=tier)
 
 
 class ScenarioRunner:
@@ -181,6 +204,11 @@ class ScenarioRunner:
         self._slots: dict[int, _Slot] = {}
         self._next_oid = 0
         self._clients: list = []
+        self._tier_engine = None
+        self._tier_tick_every = 0
+        self._ops_since_tier_tick = 0
+        # slot -> (reads, cache hits); armed only when tiering is on.
+        self._read_stats: dict[int, tuple[int, int]] | None = None
         self.result = WorkloadResult(
             scenario_name=scenario.name,
             seed=self.seed,
@@ -211,6 +239,7 @@ class ScenarioRunner:
             placement=shape.placement,
             node_weights=weights if (shape.placement and heterogeneous) else None,
             tracing=tracing,
+            tiering=self.scenario.tiering is not None,
         )
 
     def _fresh_oid(self) -> ObjectID:
@@ -273,6 +302,15 @@ class ScenarioRunner:
             return "miss"
         client = self._client(op.seq)
         oid = ObjectID.from_int(state.oid_int)
+        # Per-slot hit attribution for the BENCH hot-set breakdown: the
+        # issuing node's cache stamps last_served on every serve, so
+        # clearing it before the get tells us whether *this* read hit.
+        cache = None
+        if self._read_stats is not None:
+            agent = client.store.tier_agent
+            cache = agent.cache if agent is not None else None
+            if cache is not None:
+                cache.last_served = None
         buffers = client.get([oid], allow_missing=True)
         if buffers[0] is None:
             return "miss"
@@ -280,6 +318,21 @@ class ScenarioRunner:
             data = buffers[0].read_all()
         finally:
             client.release(oid)
+        if self._read_stats is not None:
+            # Only remote reads are cache-eligible: a home-local get never
+            # consults the cache and would dilute the hit rate it reports.
+            remote = buffers[0].is_remote
+            hit = (
+                cache is not None
+                and cache.last_served is not None
+                and cache.last_served[0] == oid
+            )
+            reads, remotes, hits = self._read_stats.get(op.slot, (0, 0, 0))
+            self._read_stats[op.slot] = (
+                reads + 1,
+                remotes + int(remote),
+                hits + int(hit),
+            )
         self.result.bytes_read += len(data)
         self._m_bytes.labels(tenant=op.tenant, direction="read").inc(len(data))
         return "ok"
@@ -366,6 +419,10 @@ class ScenarioRunner:
         self, op: WorkloadOp, observed, components: dict
     ) -> None:
         result = self.result
+        # Without a tiering block the "cache" component cannot acquire time
+        # (no tier agent exists), so the report keeps emitting exactly the
+        # legacy buckets — pre-tiering artifacts stay byte-identical.
+        known = COMPONENTS if self.scenario.tiering is not None else LEGACY_COMPONENTS
         for key, table in (
             (op.kind, result.attribution_by_kind),
             (op.tenant, result.attribution_by_tenant),
@@ -375,13 +432,14 @@ class ScenarioRunner:
                 slot = table[key] = {
                     "ops": 0,
                     "observed_ns": 0,
-                    "components_ns": {c: 0 for c in COMPONENTS},
+                    "components_ns": {c: 0 for c in known},
                 }
             slot["ops"] += 1
             slot["observed_ns"] += observed
             bucket = slot["components_ns"]
             for component, value in components.items():
-                bucket[component] += value
+                if component in bucket or value:
+                    bucket[component] = bucket.get(component, 0) + value
 
     def _execute_inner(self, op: WorkloadOp, issue_ns: int):
         """Run one op; returns the measured latency (ns), or ``None`` when
@@ -438,6 +496,88 @@ class ScenarioRunner:
         self._m_latency.labels(tenant=op.tenant, kind=op.kind).observe(latency)
         return latency
 
+    def _maybe_tier_tick(self) -> None:
+        """Run one tier-engine tick every ``tick_every_ops`` driven ops —
+        the traffic-plane stand-in for a background tiering thread."""
+        if self._tier_engine is None:
+            return
+        self._ops_since_tier_tick += 1
+        if self._ops_since_tier_tick >= self._tier_tick_every:
+            self._ops_since_tier_tick = 0
+            self._tier_engine.tick()
+
+    def _collect_tiering(self) -> dict:
+        """Merge per-node cache stats, engine counters and fabric savings
+        into the result's ``tiering`` block (node order → deterministic)."""
+        keys = (
+            "hits", "misses", "admissions", "rejections", "evictions",
+            "invalidations", "bytes_avoided", "entries", "used_bytes",
+            "capacity_bytes",
+        )
+        totals = {key: 0 for key in keys}
+        per_node: dict[str, dict] = {}
+        for name in self.cluster.node_names():
+            agent = self.cluster.tier_agent(name)
+            if agent is None:
+                continue
+            cache = agent.stats().get("cache")
+            if cache is None:
+                continue
+            per_node[name] = cache
+            for key in keys:
+                totals[key] += int(cache.get(key, 0))
+        lookups = totals["hits"] + totals["misses"]
+        out: dict = {
+            "cache": {
+                **totals,
+                "hit_rate": totals["hits"] / lookups if lookups else 0.0,
+            },
+            "per_node": per_node,
+        }
+        if self._tier_engine is not None:
+            out["engine"] = dict(
+                sorted(self._tier_engine.counters.snapshot().items())
+            )
+        read_bytes = avoided = 0
+        for link in self.cluster.fabric.links():
+            snap = link.counters.snapshot()
+            read_bytes += snap.get("read_bytes", 0)
+            avoided += snap.get("read_bytes_avoided", 0)
+        out["fabric"] = {
+            "read_bytes": read_bytes,
+            "read_bytes_avoided": avoided,
+        }
+        if self._read_stats:
+            # The hot set: the most-read tenth of the slots that saw any
+            # reads (at least one slot), ranked by observed read count —
+            # the zipfian head the cache exists to serve. Hit rate is over
+            # *remote* reads only; a home-local get never consults the
+            # cache. (slot, count) ordering keeps ties deterministic.
+            ranked = sorted(
+                self._read_stats.items(),
+                key=lambda item: (-item[1][0], item[0]),
+            )
+            top = max(1, len(ranked) // 10)
+            hot = [stats for _, stats in ranked[:top]]
+            hot_reads = sum(reads for reads, _, _ in hot)
+            hot_remote = sum(remotes for _, remotes, _ in hot)
+            hot_hits = sum(hits for _, _, hits in hot)
+            all_reads = sum(reads for _, (reads, _, _) in ranked)
+            all_remote = sum(remotes for _, (_, remotes, _) in ranked)
+            all_hits = sum(hits for _, (_, _, hits) in ranked)
+            out["hot_set"] = {
+                "slots": top,
+                "reads": hot_reads,
+                "remote_reads": hot_remote,
+                "hits": hot_hits,
+                "hit_rate": hot_hits / hot_remote if hot_remote else 0.0,
+                "read_share": hot_reads / all_reads if all_reads else 0.0,
+                "all_remote_hit_rate": (
+                    all_hits / all_remote if all_remote else 0.0
+                ),
+            }
+        return out
+
     def _collect_overload(self) -> None:
         """Merge per-server admission stats and per-channel retry/hedge
         counters into the result (node order → deterministic)."""
@@ -476,6 +616,11 @@ class ScenarioRunner:
                 and scenario.overload.op_deadline_ms > 0
             )
         self.cluster = self._build_cluster()
+        if scenario.tiering is not None:
+            self.result.tiering_enabled = True
+            self._tier_engine = self.cluster.tier_engine
+            self._tier_tick_every = scenario.tiering.tick_every_ops
+            self._read_stats = {}
         self._spans = self.cluster.spans
         if self._spans is not None:
             self.result.tracing_enabled = True
@@ -528,6 +673,7 @@ class ScenarioRunner:
                 if clock.now_ns < at:
                     clock.advance(at - clock.now_ns)
                 self._execute(op, at)
+                self._maybe_tier_tick()
         else:
             # Earliest-ready client pulls the next op from the stream.
             ready = [(t0, client_id) for client_id in range(arrival.clients)]
@@ -537,6 +683,7 @@ class ScenarioRunner:
                 if clock.now_ns < ready_ns:
                     clock.advance(ready_ns - clock.now_ns)
                 self._execute(op, ready_ns)
+                self._maybe_tier_tick()
                 heapq.heappush(
                     ready,
                     (
@@ -549,6 +696,8 @@ class ScenarioRunner:
         self.result.admission = self.admission.snapshot()
         if self.result.overload_enabled:
             self._collect_overload()
+        if self.result.tiering_enabled:
+            self.result.tiering = self._collect_tiering()
         if self._spans is not None:
             self.result.sampling = self._spans.sampling_stats()
         return self.result

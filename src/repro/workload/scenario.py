@@ -619,6 +619,87 @@ class TracingSpec:
         return {name: getattr(self, name) for name in self.FIELDS}
 
 
+# --------------------------------------------------------------------------- tiering
+
+
+@dataclass(frozen=True)
+class TieringSpec:
+    """Hot-object caching and local/far tier promotion & demotion
+    (see :mod:`repro.tier`).
+
+    Present, every node fronts its fabric reads with a bounded byte cache
+    (TinyLFU-admitted, generation-coherent) and — when the cluster runs
+    with placement — the tier engine promotes hot remote objects toward
+    their readers and demotes cold sealed objects to capacity-rich nodes,
+    budgeted ``bytes_per_tick_mib`` per engine tick, one tick every
+    ``tick_every_ops`` executed operations. Absent, the tier plane is never
+    built and artifacts are byte-identical to previous schema versions.
+    """
+
+    cache_capacity_mib: int = 8
+    sketch_width: int = 512
+    sketch_depth: int = 4
+    heat_half_life_ms: float = 500.0
+    heat_sample_rate: float = 1.0
+    promote_min_heat: float = 3.0
+    demote_watermark: float = 0.85
+    demote_target: float = 0.70
+    bytes_per_tick_mib: int = 4
+    tick_every_ops: int = 64
+
+    FIELDS = (
+        "cache_capacity_mib", "sketch_width", "sketch_depth",
+        "heat_half_life_ms", "heat_sample_rate", "promote_min_heat",
+        "demote_watermark", "demote_target", "bytes_per_tick_mib",
+        "tick_every_ops",
+    )
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "TieringSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        out = cls(
+            cache_capacity_mib=_number(
+                data, "cache_capacity_mib", path, 8, lo=0, integer=True
+            ),
+            sketch_width=_number(
+                data, "sketch_width", path, 512, lo=16, integer=True
+            ),
+            sketch_depth=_number(
+                data, "sketch_depth", path, 4, lo=1, integer=True
+            ),
+            heat_half_life_ms=_number(
+                data, "heat_half_life_ms", path, 500.0, lo=0.001
+            ),
+            heat_sample_rate=_number(
+                data, "heat_sample_rate", path, 1.0, lo=0.001, hi=1.0
+            ),
+            promote_min_heat=_number(
+                data, "promote_min_heat", path, 3.0, lo=0.0
+            ),
+            demote_watermark=_number(
+                data, "demote_watermark", path, 0.85, lo=0.01, hi=1.0
+            ),
+            demote_target=_number(
+                data, "demote_target", path, 0.70, lo=0.01, hi=1.0
+            ),
+            bytes_per_tick_mib=_number(
+                data, "bytes_per_tick_mib", path, 4, lo=1, integer=True
+            ),
+            tick_every_ops=_number(
+                data, "tick_every_ops", path, 64, lo=1, integer=True
+            ),
+        )
+        if out.demote_target >= out.demote_watermark:
+            raise _fail(f"{path}.demote_target",
+                        "must be < demote_watermark (the engine sheds from "
+                        "the watermark down to the target)")
+        return out
+
+    def to_obj(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
 # --------------------------------------------------------------------------- tenants
 
 
@@ -701,9 +782,11 @@ class Scenario:
     tenants: tuple[TenantSpec, ...] = (TenantSpec(name="default"),)
     overload: OverloadSpec | None = None
     tracing: TracingSpec | None = None
+    tiering: TieringSpec | None = None
 
     FIELDS = ("schema_version", "name", "description", "seed", "cluster",
-              "population", "traffic", "tenants", "overload", "tracing")
+              "population", "traffic", "tenants", "overload", "tracing",
+              "tiering")
 
     @classmethod
     def from_obj(cls, obj: object, path: str = "scenario") -> "Scenario":
@@ -751,6 +834,11 @@ class Scenario:
                 if data.get("tracing") is not None
                 else None
             ),
+            tiering=(
+                TieringSpec.from_obj(data["tiering"], f"{path}.tiering")
+                if data.get("tiering") is not None
+                else None
+            ),
         )
         if scenario.traffic.scan_length > scenario.population.objects:
             raise _fail(f"{path}.traffic.scan_length",
@@ -772,6 +860,8 @@ class Scenario:
             out["overload"] = self.overload.to_obj()
         if self.tracing is not None:
             out["tracing"] = self.tracing.to_obj()
+        if self.tiering is not None:
+            out["tiering"] = self.tiering.to_obj()
         return out
 
     def with_seed(self, seed: int) -> "Scenario":

@@ -47,13 +47,47 @@ class TestResidency:
             cache.local_read(i * 1024, 1024)
         assert cache.resident_bytes <= 4 * 1024
 
-    def test_fifo_evicts_oldest(self):
+    def test_lru_evicts_least_recently_used(self):
         _, cache = make(capacity=64 * 1024, cache_capacity=2 * 1024)
         cache.local_read(0, 1024)
         cache.local_read(1024, 1024)
-        cache.local_read(2048, 1024)  # evicts [0,1024)
+        cache.local_read(2048, 1024)  # evicts [0,1024), the coldest
         assert not cache.is_resident(0, 1024)
         assert cache.is_resident(2048, 1024)
+
+    def test_lru_reaccess_refreshes_recency(self):
+        _, cache = make(capacity=64 * 1024, cache_capacity=2 * 1024)
+        cache.local_read(0, 1024)
+        cache.local_read(1024, 1024)
+        cache.local_read(0, 1024)  # refresh: [1024,2048) is now coldest
+        cache.local_read(2048, 1024)  # evicts [1024,2048), not [0,1024)
+        assert cache.is_resident(0, 1024)
+        assert not cache.is_resident(1024, 1024)
+        assert cache.is_resident(2048, 1024)
+
+    def test_lru_write_refreshes_recency(self):
+        _, cache = make(capacity=64 * 1024, cache_capacity=2 * 1024)
+        cache.local_read(0, 1024)
+        cache.local_read(1024, 1024)
+        cache.local_write(0, b"y" * 1024)  # stores age the line too
+        cache.local_read(2048, 1024)  # evicts [1024,2048)
+        assert cache.is_resident(0, 1024)
+        assert not cache.is_resident(1024, 1024)
+
+    def test_lru_eviction_order_full_cycle(self):
+        _, cache = make(capacity=64 * 1024, cache_capacity=3 * 1024)
+        for i in range(3):
+            cache.local_read(i * 1024, 1024)
+        # Touch in reverse so recency order inverts insertion order.
+        for i in (2, 1, 0):
+            cache.local_read(i * 1024, 1024)
+        # Each new range must now evict in recency order: 2, then 1.
+        cache.local_read(3 * 1024, 1024)
+        assert not cache.is_resident(2 * 1024, 1024)
+        assert cache.is_resident(1024, 1024) and cache.is_resident(0, 1024)
+        cache.local_read(4 * 1024, 1024)
+        assert not cache.is_resident(1024, 1024)
+        assert cache.is_resident(0, 1024)
 
     def test_invalidate_drops_residency(self):
         _, cache = make()

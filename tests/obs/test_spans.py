@@ -50,6 +50,7 @@ class TestAttribution:
         [trace] = sink.traces()
         assert trace["duration_ns"] == 3_750
         assert trace["components_ns"] == {
+            "cache": 0,
             "client": 250,
             "fabric": 500,
             "hedge": 0,

@@ -15,7 +15,7 @@ from repro.simtest.harness import replay_trace, run_seed
 
 # Known-failing configuration: the planted skip_retire mutation trips the
 # dup-primary oracle at this seed (the same search the self-check runs).
-FAILING_SEED = 1
+FAILING_SEED = 16
 FAILING_OPS = 150
 MUTATION = "skip_retire"
 

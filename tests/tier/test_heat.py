@@ -1,0 +1,82 @@
+"""HeatTracker: decay on simulated time, sampling, deterministic ranking."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.ids import ObjectID
+from repro.common.rng import DeterministicRng
+from repro.tier.heat import HeatTracker
+
+
+def oid(n: int) -> ObjectID:
+    return ObjectID.from_int(n)
+
+
+def test_heat_accumulates_and_halves_per_half_life():
+    clock = SimClock()
+    tracker = HeatTracker(clock, half_life_ns=1000.0)
+    tracker.record(oid(1))
+    tracker.record(oid(1))
+    assert tracker.heat(oid(1)) == pytest.approx(2.0)
+    clock.advance(1000)
+    assert tracker.heat(oid(1)) == pytest.approx(1.0)
+    clock.advance(1000)
+    assert tracker.heat(oid(1)) == pytest.approx(0.5)
+
+
+def test_untracked_object_is_cold():
+    tracker = HeatTracker(SimClock(), half_life_ns=1000.0)
+    assert tracker.heat(oid(9)) == 0.0
+
+
+def test_hottest_orders_by_current_heat_then_id():
+    clock = SimClock()
+    tracker = HeatTracker(clock, half_life_ns=1000.0)
+    tracker.record(oid(1))
+    clock.advance(2000)  # oid 1 cools to 0.25
+    for _ in range(3):
+        tracker.record(oid(2))
+    ranked = tracker.hottest()
+    assert [o for o, _ in ranked] == [oid(2), oid(1)]
+    assert ranked[0][1] == pytest.approx(3.0)
+
+
+def test_forget_and_prune():
+    clock = SimClock()
+    tracker = HeatTracker(clock, half_life_ns=100.0)
+    tracker.record(oid(1))
+    tracker.record(oid(2))
+    tracker.forget(oid(1))
+    assert len(tracker) == 1
+    clock.advance(100 * 1000)  # ~1000 half-lives: heat underflows to ~0
+    assert tracker.prune() == 1
+    assert len(tracker) == 0
+
+
+def test_sampling_is_unbiased_and_seeded():
+    clock = SimClock()
+    a = HeatTracker(
+        clock, half_life_ns=1e12, sample_rate=0.25,
+        rng=DeterministicRng(77),
+    )
+    b = HeatTracker(
+        clock, half_life_ns=1e12, sample_rate=0.25,
+        rng=DeterministicRng(77),
+    )
+    for _ in range(400):
+        a.record(oid(1))
+        b.record(oid(1))
+    # Identical seeds record the identical subsample...
+    assert a.heat(oid(1)) == b.heat(oid(1))
+    # ...and the 1/rate weight scaling keeps the estimate near the truth.
+    assert a.heat(oid(1)) == pytest.approx(400, rel=0.25)
+
+
+def test_sub_unit_sampling_requires_rng():
+    with pytest.raises(ValueError):
+        HeatTracker(SimClock(), half_life_ns=1.0, sample_rate=0.5)
+
+
+def test_half_life_must_be_positive():
+    with pytest.raises(ValueError):
+        HeatTracker(SimClock(), half_life_ns=0.0)

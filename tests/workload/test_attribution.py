@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.spans import COMPONENTS
+from repro.obs.spans import LEGACY_COMPONENTS
 from repro.workload import Scenario, run_scenario
 from repro.workload.report import build_workload_payload, dumps_bench
 from repro.workload.scenario import TracingSpec
@@ -44,7 +44,9 @@ class TestExactness:
         for table in (attribution["by_kind"], attribution["by_tenant"]):
             assert table, "traced run produced an empty attribution table"
             for slot in table.values():
-                assert set(slot["components_ns"]) == set(COMPONENTS)
+                # mini has no tiering block, so the report emits exactly
+                # the pre-tier bucket set (the byte-compat contract).
+                assert set(slot["components_ns"]) == set(LEGACY_COMPONENTS)
                 assert (
                     sum(slot["components_ns"].values()) == slot["observed_ns"]
                 )
