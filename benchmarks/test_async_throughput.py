@@ -1,0 +1,84 @@
+"""Async event-loop RPC core vs the unary baseline (zipfian-async anchor).
+
+The same zipfian read-heavy mix, the same 1000 ops/s open-loop arrivals,
+the same seed — once through the classic serial unary path and once
+through the event-loop task plane (pipelined concurrent ops, coalesced
+per-peer lookups, scans as one batched multi-get). The sync path is
+serially bound by per-op round trips, so it saturates well below the
+offered rate; the async path overlaps transport waits and must clear at
+least twice the sync throughput. Both runs are pure functions of
+(scenario, seed): the async artifact must reproduce byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.workload.report import dumps_bench
+from repro.workload.runner import run_scenario
+from repro.workload.scenario import load_scenario
+
+SCENARIO = Path(__file__).parent / "scenarios" / "zipfian-async.json"
+
+
+@pytest.fixture(scope="module")
+def async_runs():
+    scenario = load_scenario(SCENARIO)
+    return run_scenario(scenario), run_scenario(scenario)
+
+
+@pytest.fixture(scope="module")
+def sync_payload():
+    scenario = load_scenario(SCENARIO)
+    scenario = dataclasses.replace(
+        scenario, rpc=dataclasses.replace(scenario.rpc, mode="sync")
+    )
+    return run_scenario(scenario)[1]
+
+
+def test_async_at_least_2x_sync_throughput(async_runs, sync_payload):
+    (_, async_payload), _ = async_runs
+    async_rate = async_payload["sim"]["ops_per_s"]
+    sync_rate = sync_payload["sim"]["ops_per_s"]
+    assert sync_rate > 0
+    speedup = async_rate / sync_rate
+    print(
+        f"\nzipfian-async: sync {sync_rate:.1f} ops/s, "
+        f"async {async_rate:.1f} ops/s ({speedup:.2f}x)"
+    )
+    assert speedup >= 2.0
+
+
+def test_async_run_twice_byte_identical(async_runs):
+    (_, first), (_, second) = async_runs
+    assert dumps_bench(first) == dumps_bench(second)
+
+
+def test_async_pipelines_and_batches(async_runs):
+    (result, payload), _ = async_runs
+    counters = payload["rpc"]["counters"]
+    # Concurrency actually happened: more than one request in flight to a
+    # single peer, and id-list calls shared wire messages.
+    assert counters["in_flight_peak"] >= 2
+    assert counters["batches_sent"] >= 1
+    assert counters["batched_ids"] >= counters["batched_requests"]
+    assert counters["tasks_completed"] == counters["tasks_started"]
+    assert result.rpc_mode == "async"
+
+
+def test_async_attribution_sums_exactly(async_runs):
+    (_, payload), _ = async_runs
+    attribution = payload["rpc"]["attribution"]
+    assert attribution["exact"] is True
+    for table in (attribution["by_kind"], attribution["by_tenant"]):
+        for slot in table.values():
+            assert sum(slot["components_ns"].values()) == slot["observed_ns"]
+
+
+def test_sync_mode_artifact_has_no_async_counters(sync_payload):
+    counters = sync_payload["rpc"]["counters"]
+    assert counters["tasks_started"] == 0
+    assert counters["batches_sent"] == 0

@@ -688,7 +688,7 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
             print(f"wrote reproducer to {args.emit}")
         return 0 if len(report.shrink.minimal) <= 25 else 1
 
-    n_seeds, n_ops = PROFILES[args.profile]
+    n_seeds, n_ops, profile = PROFILES[args.profile]
     if args.seeds is not None:
         n_seeds = args.seeds
     if args.ops is not None:
@@ -696,8 +696,10 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
 
     if args.seed is not None:
         # Single-seed mode: run twice, require byte-identical traces.
-        first = run_seed(args.seed, n_ops, mutation=args.mutation)
-        second = run_seed(args.seed, n_ops, mutation=args.mutation)
+        first = run_seed(args.seed, n_ops, mutation=args.mutation,
+                         profile=profile)
+        second = run_seed(args.seed, n_ops, mutation=args.mutation,
+                          profile=profile)
         identical = first.trace_text() == second.trace_text()
         print(first.trace_text(), end="")
         print(f"replay byte-identical: {identical}")
@@ -722,6 +724,7 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
         n_ops,
         base_seed=args.base_seed,
         mutation=args.mutation,
+        profile=profile,
         progress=progress,
     )
     print(sweep.summary())
@@ -1001,10 +1004,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ops per seed (overrides --profile)")
     simtest.add_argument("--base-seed", type=int, default=0,
                          help="first seed of the sweep")
-    simtest.add_argument("--profile", choices=("smoke", "nightly"),
+    simtest.add_argument("--profile",
+                         choices=("smoke", "nightly", "concurrency"),
                          default="smoke",
                          help="seed budget preset: smoke=100x200, "
-                              "nightly=500x300")
+                              "nightly=500x300, concurrency=300x200 on the "
+                              "async event-loop RPC workload")
     simtest.add_argument("--shrink", action="store_true",
                          help="delta-debug the first failing trace to a "
                               "minimal reproducer")

@@ -144,6 +144,24 @@ class RpcConfig:
     # channel has observed hedge_min_samples completed calls.
     hedge_quantile: float = 0.0
     hedge_min_samples: int = 20
+    # --- async event-loop mode (repro.rpc.aio) ---
+    # "sync" preserves the paper's blocking one-in-flight unary semantics
+    # (and keeps every standing BENCH/TRACE artifact byte-identical);
+    # "async" runs calls as event-loop tasks: many in flight per peer,
+    # id-list RPCs coalesced into batched wire messages, hedged lookups as
+    # racing tasks.
+    mode: str = "sync"
+    # Coalescing policy: submissions within batch_window_ns of the first
+    # buffered entry (or until max_batch ids accumulate) merge into one
+    # wire message. window 0 = flush immediately (no added latency).
+    batch_window_ns: float = 0.0
+    max_batch: int = 16
+    # Async hedged lookups: after this stagger, a not-yet-resolved batched
+    # lookup races a second probe at the next candidate peer. 0 disables.
+    hedge_stagger_ns: float = 0.0
+    # Chunk size for streamed bulk pulls (migration / replication / tier
+    # promotion) in async mode; sync mode always pulls in one lump.
+    stream_chunk_bytes: int = 64 * 1024
 
 
 @dataclass(frozen=True)
@@ -481,6 +499,16 @@ class ClusterConfig:
             raise ValueError("hedge_quantile must be in [0, 1)")
         if self.rpc.hedge_min_samples < 1:
             raise ValueError("hedge_min_samples must be >= 1")
+        if self.rpc.mode not in ("sync", "async"):
+            raise ValueError(f"unknown rpc mode {self.rpc.mode!r}")
+        if self.rpc.batch_window_ns < 0:
+            raise ValueError("batch_window_ns must be non-negative")
+        if self.rpc.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.rpc.hedge_stagger_ns < 0:
+            raise ValueError("hedge_stagger_ns must be non-negative")
+        if self.rpc.stream_chunk_bytes < 1:
+            raise ValueError("stream_chunk_bytes must be >= 1")
         for bw_name, bw in (
             ("local read", self.local_memory.read_bandwidth_bps),
             ("local write", self.local_memory.write_bandwidth_bps),

@@ -132,6 +132,227 @@ class DisaggregatedClient(PlasmaClient):
     def _release_store_ref(self, object_id: ObjectID) -> None:
         self.store.release_object(object_id)
 
+    # -- batched multi-object API (repro.rpc.aio) ---------------------------------
+
+    def _aio_drive(self, gen, name: str):
+        loop = self.store.aio_loop
+        return loop.run_until_complete(loop.spawn(gen, name=name))
+
+    def _aio_facade(self) -> bool:
+        store = self.store
+        return (
+            store.rpc_async
+            and store.aio_loop is not None
+            and not store.aio_loop.driving
+        )
+
+    def multi_get(
+        self, object_ids: list[ObjectID], *, allow_missing: bool = True
+    ) -> list[bytes | None]:
+        """Fetch many payloads in one batched operation.
+
+        One IPC request covers every id; the store resolves all of them
+        together (in async mode: one coalesced Lookup per peer instead of N
+        unary calls, hedged scatter-gather across homes). Returns payload
+        *copies* in input order — references are taken and released
+        internally — with ``None`` at unresolved positions unless
+        ``allow_missing=False``.
+        """
+        if not object_ids:
+            return []
+        if self._aio_facade():
+            return self._aio_drive(
+                self.multi_get_task(object_ids, allow_missing=allow_missing),
+                name=f"multi-get:{self._name}",
+            )
+        buffers = self.get(list(object_ids), allow_missing=allow_missing)
+        return self._read_out(object_ids, buffers)
+
+    def _read_out(self, object_ids, buffers) -> list[bytes | None]:
+        out: list[bytes | None] = []
+        # Duplicate ids in one call resolve to a single shared handle
+        # (one reference per occurrence): read each handle once and reuse
+        # the payload, so releasing slot N's reference cannot invalidate
+        # slot N+1's pending read of the same buffer.
+        read: dict[int, bytes] = {}
+        for oid, buffer in zip(object_ids, buffers):
+            if buffer is None:
+                out.append(None)
+                continue
+            key = id(buffer)
+            try:
+                if key not in read:
+                    read[key] = buffer.read_all()
+                out.append(read[key])
+            finally:
+                self.release(oid)
+        return out
+
+    def multi_get_task(
+        self,
+        object_ids: list[ObjectID],
+        *,
+        allow_missing: bool = True,
+        attr=None,
+    ):
+        """Task form of :meth:`multi_get` (``yield from`` inside a task)."""
+        object_ids = list(object_ids)
+        if not object_ids:
+            return []
+        self._ipc.charge_request(nobjects=len(object_ids))
+        if attr is not None:
+            attr.settle("client")
+        buffers = yield from self.store.get_buffers_task(
+            object_ids, allow_missing, attr
+        )
+        if attr is not None:
+            attr.settle("service")
+        for buffer in buffers:
+            if buffer is not None:
+                self._held.setdefault(buffer.object_id, []).append(buffer)
+        self.counters.inc("gets", len(object_ids))
+        out = self._read_out(object_ids, buffers)
+        if attr is not None:
+            attr.settle("fabric")
+        return out
+
+    def get_task(
+        self,
+        object_ids: list[ObjectID],
+        allow_missing: bool = False,
+        attr=None,
+    ):
+        """Task form of :meth:`get`: same reference-taking semantics, but
+        the resolution runs on the event loop (the caller releases)."""
+        object_ids = list(object_ids)
+        if not object_ids:
+            return []
+        self._ipc.charge_request(nobjects=len(object_ids))
+        if attr is not None:
+            attr.settle("client")
+        buffers = yield from self.store.get_buffers_task(
+            object_ids, allow_missing, attr
+        )
+        for buffer in buffers:
+            if buffer is not None:
+                self._held.setdefault(buffer.object_id, []).append(buffer)
+        self.counters.inc("gets", len(object_ids))
+        return buffers
+
+    def multi_put(
+        self,
+        items: list[tuple[ObjectID, object]],
+        metadata: bytes = b"",
+        *,
+        replicas: int = 1,
+    ) -> list[ObjectID]:
+        """Bulk put: one batched uniqueness check for all ids; in async
+        mode every object's create pipeline runs as a concurrent task (a
+        ring-forwarded create overlaps its peers' instead of queueing
+        behind them)."""
+        items = list(items)
+        if not items:
+            return []
+        if self._aio_facade():
+            return self._aio_drive(
+                self.multi_put_task(items, metadata, replicas=replicas),
+                name=f"multi-put:{self._name}",
+            )
+        return self.put_batch(items, metadata, replicas=replicas)
+
+    def multi_put_task(
+        self,
+        items: list[tuple[ObjectID, object]],
+        metadata: bytes = b"",
+        *,
+        replicas: int = 1,
+        attr=None,
+    ):
+        """Task form of :meth:`multi_put`: concurrent per-object pipelines
+        after one shared reserve_ids check."""
+        self._check_replicas(replicas)
+        items = list(items)
+        if not items:
+            return []
+        ids = [oid for oid, _ in items]
+        self.store.reserve_ids(ids)
+        loop = self.store.aio_loop
+        tasks = [
+            loop.spawn(
+                self._put_one_task(oid, data, metadata, replicas, attr),
+                name=f"put:{i}",
+            )
+            for i, (oid, data) in enumerate(items)
+        ]
+        results = yield loop.gather(tasks)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return ids
+
+    def _put_one_task(self, oid, data, metadata, replicas, attr):
+        """One multi_put item, ids already reserved: forward to the ring
+        home as a pipelined task, else the classic unchecked local create."""
+        home = self.store.placement_home(oid)
+        if home is not None:
+            self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+            ok = yield from self.store.forward_put_task(
+                oid, data, metadata, home, replicas=replicas, attr=attr
+            )
+            if ok:
+                self.counters.inc("puts_forwarded")
+                return oid
+            self.counters.inc("puts_forward_fallback")
+        mv = memoryview(data)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+        entry = self._store.create_object_unchecked(oid, len(mv), metadata)
+        self._store.add_ref(oid)
+        buffer = self._store.local_buffer(entry)
+        self._held.setdefault(oid, []).append(buffer)
+        buffer.write(mv)
+        self.seal(oid)
+        self.release(oid)
+        self._replicate(oid, replicas)
+        return oid
+
+    def put_bytes_task(
+        self,
+        object_id: ObjectID,
+        data,
+        metadata: bytes = b"",
+        *,
+        replicas: int = 1,
+        attr=None,
+    ):
+        """Task form of :meth:`put_bytes` (placement-aware, pipelined
+        forward hops)."""
+        self._check_replicas(replicas)
+        home = self.store.placement_home(object_id)
+        if home is not None:
+            self._ipc.charge_request(nobjects=1, nbytes=len(metadata))
+            if attr is not None:
+                attr.settle("client")
+            ok = yield from self.store.forward_put_task(
+                object_id, data, metadata, home, replicas=replicas, attr=attr
+            )
+            if ok:
+                self.counters.inc("puts_forwarded")
+                return object_id
+            self.counters.inc("puts_forward_fallback")
+        PlasmaClient.put_bytes(self, object_id, data, metadata)
+        self._replicate(object_id, replicas)
+        return object_id
+
+    def delete_task(self, object_id: ObjectID, attr=None):
+        """Task form of :meth:`~repro.plasma.client.PlasmaClient.delete`."""
+        self._ipc.charge_request(nobjects=1)
+        if attr is not None:
+            attr.settle("client")
+        yield from self.store.delete_object_task(object_id, attr)
+        self.counters.inc("deletes")
+
     def tier_stats(self, peer: str | None = None) -> dict | None:
         """The tiering-plane snapshot (cache counters, heat-tracker sizes)
         for this client's node, or — with *peer* — for a peer store via its

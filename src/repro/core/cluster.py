@@ -40,6 +40,7 @@ from repro.placement.membership import Membership, NodeStatus, TopologyView
 from repro.placement.migrate import MigrationEngine
 from repro.placement.rebalance import Rebalancer
 from repro.placement.ring import HashRing
+from repro.rpc.aio import AsyncChannel, EventLoop
 from repro.rpc.channel import Channel
 from repro.rpc.overload import OverloadModel
 from repro.rpc.server import RpcServer
@@ -108,6 +109,12 @@ class Cluster:
             raise ValueError("node names must be unique")
         self._clock = SimClock()
         self._rng = DeterministicRng(self._config.seed)
+        # One event loop serves the whole mesh (repro.rpc.aio). Building it
+        # draws nothing from the RNG — rng.spawn() is hash-derived — and in
+        # sync mode nothing ever schedules on it, so every sync-mode stream
+        # (and artifact) is bit-identical to a pre-loop build.
+        self._loop = EventLoop(self._clock, self._rng)
+        self._rpc_mode = self._config.rpc.mode
         # The span sink draws its head-sampling decisions from a dedicated
         # child of the RNG tree, so enabling tracing never perturbs any
         # simulation stream (and the clock listener only *reads* time):
@@ -312,6 +319,7 @@ class Cluster:
         store.tracer = self._tracer
         store.spans = self._spans
         store.correlation = self._correlation
+        store.attach_aio(self._loop, async_mode=self._rpc_mode == "async")
         if self._tiering:
             agent = TierAgent(
                 name,
@@ -352,7 +360,7 @@ class Cluster:
         if self._use_dmsg:
             channel = self._make_dmsg_channel(reader_name, home_name)
         else:
-            channel = Channel(
+            channel = AsyncChannel(
                 reader_name,
                 home.server,
                 self._clock,
@@ -367,6 +375,7 @@ class Cluster:
                 ),
                 chaos=self._chaos,
                 correlation=self._correlation,
+                loop=self._loop,
             )
         reader.channels[home_name] = channel
         remote_region = self._remote_regions[(reader_name, home_name)]
@@ -456,6 +465,40 @@ class Cluster:
     @property
     def fabric(self) -> ThymesisFabric:
         return self._fabric
+
+    @property
+    def loop(self) -> EventLoop:
+        """The cluster-wide deterministic event loop (repro.rpc.aio)."""
+        return self._loop
+
+    @property
+    def rpc_mode(self) -> str:
+        """Current RPC execution mode: ``"sync"`` or ``"async"``."""
+        return self._rpc_mode
+
+    def set_rpc_mode(self, mode: str) -> None:
+        """Flip the mesh between sync (one-in-flight, artifact-stable) and
+        async (pipelined event-loop) RPC execution at runtime.
+
+        Sync mode is the compatibility plane: with it active no task ever
+        schedules on the loop and every draw sequence matches a pre-async
+        build byte for byte. Async mode routes the store facades through
+        their task forms (pipelining, coalesced batches, hedged
+        scatter-gather lookups, chunked bulk pulls).
+        """
+        if mode not in ("sync", "async"):
+            raise ValueError(
+                f"rpc mode must be 'sync' or 'async', got {mode!r}"
+            )
+        if mode == "async" and self._use_dmsg:
+            raise ObjectStoreError(
+                "async rpc mode requires gRPC-model channels; dmsg rings "
+                "have no event-loop integration (sharing="
+                f"{self._sharing!r})"
+            )
+        self._rpc_mode = mode
+        for node in self._nodes.values():
+            node.store.set_rpc_async(mode == "async")
 
     @property
     def sharing(self) -> str:
@@ -921,6 +964,7 @@ class Cluster:
         store.tracer = self._tracer
         store.spans = self._spans
         store.correlation = self._correlation
+        store.attach_aio(self._loop, async_mode=self._rpc_mode == "async")
         agent = self._tier_agents.get(name)
         if agent is not None:
             # Same agent instance, fresh state: store.recover() resets the

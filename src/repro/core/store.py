@@ -51,6 +51,8 @@ from repro.plasma.entry import ObjectEntry
 from repro.plasma.eviction import HeatAwareEvictionPolicy
 from repro.plasma.notifications import SealNotification
 from repro.plasma.store import PlasmaStore
+from repro.rpc.aio.loop import Sleep
+from repro.rpc.aio.streaming import stream_pull
 from repro.rpc.status import StatusCode
 from repro.common.errors import RpcStatusError
 from repro.thymesisflow.endpoint import ThymesisEndpoint
@@ -126,6 +128,11 @@ class DisaggregatedStore(PlasmaStore):
         # every tier branch below is branch-on-None so the disabled path is
         # byte-identical to a build without the subsystem.
         self._tier = None
+        # Async RPC plane (repro.rpc.aio): the cluster-wide event loop and
+        # the mode flag. In sync mode nothing ever schedules on the loop and
+        # the flag check is the only new cost on the baseline path.
+        self._aio_loop = None
+        self._rpc_async = False
 
     # -- observability -----------------------------------------------------------
 
@@ -349,6 +356,13 @@ class DisaggregatedStore(PlasmaStore):
         seal. Returns False when the home's metadata plane is unreachable —
         the caller degrades to a local create and the rebalancer re-homes
         the object later."""
+        if self._aio_facade():
+            return self._drive(
+                self.forward_put_task(
+                    object_id, data, metadata, home, replicas=replicas
+                ),
+                name=f"forward-put:{home}",
+            )
         handle = self.peer(home)
         mv = memoryview(data)
         if mv.ndim != 1 or mv.itemsize != 1:
@@ -475,9 +489,7 @@ class DisaggregatedStore(PlasmaStore):
             self.abort_adopt(object_id)
         handle = self.peer(source)
         entry = self.create_object_unchecked(object_id, data_size, metadata)
-        payload = handle.remote_region.view(offset, data_size)
-        handle.remote_region.charge_read(data_size)
-        self.local_buffer(entry).write(payload)
+        self._pull_payload(handle, entry, offset, data_size)
         self._pending_adoptions.add(object_id)
         others = [h for h in holders if h != self._name]
         if others:
@@ -661,6 +673,16 @@ class DisaggregatedStore(PlasmaStore):
         """
         if not object_ids:
             return []
+        if self._aio_facade():
+            start_ns = self.clock.now_ns
+            try:
+                return self._drive(
+                    self.get_buffers_task(object_ids, allow_missing),
+                    name=f"get:{self._name}",
+                )
+            finally:
+                if self._m_get is not None:
+                    self._m_get.observe(self.clock.now_ns - start_ns)
         if self.tracer is None and self.spans is None and self._m_get is None:
             return self._get_buffers_inner(object_ids, allow_missing)
         start_ns = self.clock.now_ns
@@ -962,6 +984,28 @@ class DisaggregatedStore(PlasmaStore):
             remaining = [oid for oid in remaining if oid not in claimed]
         return remaining
 
+    def _pull_payload(self, handle, entry, offset: int, data_size: int) -> None:
+        """Bulk-pull a peer object's payload into a fresh local extent
+        (migration adoption, replica materialisation, tier promotion all
+        come through here). Sync mode keeps the baseline one-lump
+        ``view + charge_read`` shape byte-for-byte; async mode streams in
+        ``stream_chunk_bytes`` chunks, charging the identical link model
+        per slice."""
+        if self._rpc_async:
+            channel = self._peer_channel(handle.name)
+            kwargs = (
+                {"chunk_bytes": channel.stream_chunk_bytes}
+                if channel is not None
+                else {}
+            )
+            payload = stream_pull(
+                handle.remote_region, offset, data_size, **kwargs
+            )
+        else:
+            payload = handle.remote_region.view(offset, data_size)
+            handle.remote_region.charge_read(data_size)
+        self.local_buffer(entry).write(payload)
+
     def _remote_buffer(self, record: RemoteObjectRecord) -> PlasmaBuffer:
         handle = self.peer(record.home)
         source = RemoteBufferSource(
@@ -1071,6 +1115,524 @@ class DisaggregatedStore(PlasmaStore):
                 self._remote_records[oid].pinned_at_home = True
             self.counters.inc("addref_rpcs")
 
+    # -- async task plane (repro.rpc.aio) --------------------------------------------
+
+    def attach_aio(self, loop, *, async_mode: bool = False) -> None:
+        """Wire the cluster-wide event loop; *async_mode* arms the task
+        facades (``rpc_mode="async"``). Attaching draws nothing and changes
+        nothing observable in sync mode."""
+        self._aio_loop = loop
+        self._rpc_async = bool(async_mode)
+
+    def set_rpc_async(self, enabled: bool) -> None:
+        """Flip this store between sync facades and event-loop task forms."""
+        if enabled and self._aio_loop is None:
+            raise ObjectStoreError(
+                f"{self._name} has no event loop attached (attach_aio first)"
+            )
+        self._rpc_async = bool(enabled)
+
+    @property
+    def rpc_async(self) -> bool:
+        return self._rpc_async
+
+    @property
+    def aio_loop(self):
+        return self._aio_loop
+
+    def _aio_facade(self) -> bool:
+        """True when a synchronous facade should reroute through its task
+        form: async mode is on and we are *not* already inside a task (a
+        nested facade executes its classic inline body instead — blocking
+        semantics are safe there, re-entering the loop driver is not)."""
+        return (
+            self._rpc_async
+            and self._aio_loop is not None
+            and not self._aio_loop.driving
+        )
+
+    def _drive(self, gen, name: str | None = None):
+        """Run a task form to completion from a synchronous facade."""
+        loop = self._aio_loop
+        return loop.run_until_complete(loop.spawn(gen, name=name))
+
+    def _peer_channel(self, name: str):
+        """The peer's task-capable channel, or None when its transport has
+        no event-loop integration (dmsg rings)."""
+        channel = getattr(self._peers[name].stub, "channel", None)
+        if channel is not None and hasattr(channel, "unary_task"):
+            return channel
+        return None
+
+    def get_buffers_task(
+        self,
+        object_ids: list[ObjectID],
+        allow_missing: bool = False,
+        attr=None,
+    ):
+        """Task form of :meth:`get_buffers`: the local table and tier-cache
+        scans are instant; unresolved ids go through concurrent (scatter-
+        gather, optionally hedged) batched Lookups and a gathered AddRef
+        pin. Mirrors ``_get_buffers_inner`` outcome-for-outcome."""
+        buffers: dict[ObjectID, PlasmaBuffer | None] = {}
+        missing: list[ObjectID] = []
+        with self.table.lock:
+            for oid in object_ids:
+                entry = self.table.lookup(oid)
+                if entry is not None:
+                    if not entry.is_sealed:
+                        if allow_missing:
+                            buffers[oid] = None
+                            continue
+                        raise ObjectNotFoundError(
+                            f"{oid!r} exists locally but is not sealed"
+                        )
+                    self.table.add_ref(oid)
+                    buffers[oid] = self.local_buffer(entry)
+                    if self._tier is not None:
+                        self._tier.note_local_get(oid)
+                else:
+                    missing.append(oid)
+        served_cached = 0
+        if missing and self._tier is not None and self._notify_deletions:
+            unresolved: list[ObjectID] = []
+            for oid in missing:
+                if oid in self._remote_records:
+                    unresolved.append(oid)
+                    continue
+                hit = self._tier.serve_cached(oid)
+                if hit is None:
+                    unresolved.append(oid)
+                    continue
+                _, payload, home = hit
+                buffers[oid] = self._cache_served_buffer(oid, payload, home)
+                self._tier.note_served(oid)
+                self._tier.note_remote_get(oid)
+                served_cached += 1
+            missing = unresolved
+        found_remote = 0
+        if missing:
+            records = yield from self._resolve_remote_task(
+                missing, allow_missing, attr
+            )
+            newly_pinned: dict[str, list[ObjectID]] = {}
+            for oid in missing:
+                record = records.get(oid)
+                if record is None:
+                    buffers[oid] = None  # allow_missing guaranteed by resolve
+                    continue
+                if record.local_refs == 0 and self._share_usage:
+                    newly_pinned.setdefault(record.home, []).append(oid)
+                record.local_refs += 1
+                buffers[oid] = self._remote_buffer(record)
+                found_remote += 1
+                if self._tier is not None:
+                    self._tier.note_remote_get(oid)
+            yield from self._pin_at_home_task(newly_pinned, attr)
+        self.counters.inc(
+            "gets_local", len(object_ids) - len(missing) - served_cached
+        )
+        self.counters.inc("gets_remote", found_remote)
+        if served_cached:
+            self.counters.inc("gets_cache_served", served_cached)
+        return [buffers[oid] for oid in object_ids]
+
+    def _resolve_remote_task(
+        self,
+        object_ids: list[ObjectID],
+        allow_missing: bool = False,
+        attr=None,
+    ):
+        """Task form of :meth:`_resolve_remote` (same caches, same typed
+        errors); only the per-peer Lookups change shape."""
+        resolved: dict[ObjectID, RemoteObjectRecord] = {}
+        unresolved: list[ObjectID] = []
+        for oid in object_ids:
+            record = self._remote_records.get(oid)
+            if record is None and self._lookup_cache is not None:
+                record = self._lookup_cache.get(oid)
+                if record is not None:
+                    self._remote_records[oid] = record
+                    self.counters.inc("lookup_cache_hits")
+            if record is not None:
+                resolved[oid] = record
+            else:
+                unresolved.append(oid)
+        if unresolved:
+            unreachable: list[str] = []
+            if self._sharing in ("hashmap", "hybrid"):
+                still = self._hashmap_lookup(unresolved, resolved)
+            else:
+                still = yield from self._rpc_lookup_task(
+                    unresolved, resolved, unreachable, attr
+                )
+            if still and not allow_missing:
+                detail = ", ".join(repr(oid) for oid in still[:5])
+                if unreachable:
+                    raise ObjectUnavailableError(
+                        f"{len(still)} object(s) unresolved while peer(s) "
+                        f"{', '.join(unreachable)} are unreachable: {detail}",
+                        unreachable_peers=tuple(unreachable),
+                    )
+                raise ObjectNotFoundError(
+                    f"{len(still)} object(s) not found anywhere: " + detail
+                )
+        return resolved
+
+    def _rpc_lookup_task(
+        self,
+        object_ids: list[ObjectID],
+        resolved: dict[ObjectID, RemoteObjectRecord],
+        unreachable: list[str] | None = None,
+        attr=None,
+    ):
+        """Scatter-gather replica resolution (task form of `_rpc_lookup`).
+
+        Ids with a known ring home are probed *concurrently*, one batched
+        Lookup per home, each hedged to the next peer after the channel's
+        ``hedge_stagger_ns`` (losers run out harmlessly — Lookup is
+        idempotent). Whatever no targeted probe claims falls back to the
+        ordered sweep over every peer, exactly like the sync path — any
+        peer might hold a replica, and the ring view might be stale."""
+        remaining = list(object_ids)
+        peers = self.peers()
+        if not peers:
+            return remaining
+        by_home: dict[str, list[ObjectID]] = {}
+        if self._ring is not None:
+            for oid in remaining:
+                home = self._ring.home(oid)
+                if home != self._name and home in self._peers:
+                    by_home.setdefault(home, []).append(oid)
+        loop = self._aio_loop
+        if by_home:
+            probes = [
+                loop.spawn(
+                    self._probe_peer_task(
+                        home, by_home[home], resolved, unreachable, attr
+                    ),
+                    name=f"lookup:{home}",
+                )
+                for home in sorted(by_home)
+            ]
+            results = yield loop.gather(probes)
+            for result in results:
+                if isinstance(result, BaseException):
+                    raise result
+        remaining = [oid for oid in object_ids if oid not in resolved]
+        for name in peers:
+            if not remaining:
+                break
+            remaining = yield from self._lookup_peer_task(
+                name, remaining, resolved, unreachable, attr
+            )
+        return remaining
+
+    def _probe_peer_task(
+        self,
+        name: str,
+        ids: list[ObjectID],
+        resolved: dict,
+        unreachable: list[str] | None,
+        attr=None,
+    ):
+        """One targeted probe, hedged: race the home's Lookup against a
+        staggered backup probe at the next peer. Returns the ids neither
+        claimed."""
+        loop = self._aio_loop
+        channel = self._peer_channel(name)
+        stagger = channel.hedge_stagger_ns if channel is not None else 0.0
+        backup = None
+        if stagger > 0:
+            peers = self.peers()
+            candidate = peers[(peers.index(name) + 1) % len(peers)]
+            if candidate != name:
+                backup = candidate
+        primary = loop.spawn(
+            self._lookup_peer_task(name, ids, resolved, unreachable, attr),
+            name=f"probe:{name}",
+        )
+        if backup is None:
+            result = yield primary
+            return result
+        hedge = loop.spawn(
+            self._hedge_probe_task(stagger, backup, ids, resolved, primary),
+            name=f"hedge:{backup}",
+        )
+        race_start_ns = self.clock.now_ns
+        index, outcome = yield loop.race([primary, hedge])
+        if attr is not None:
+            # Only the wait *past* the stagger ran in hedged territory; a
+            # primary that answers inside the stagger is ordinary lookup
+            # time and charges nothing to the hedge bucket.
+            attr.hint(
+                "hedge",
+                max(0.0, self.clock.now_ns - race_start_ns - stagger),
+            )
+        if isinstance(outcome, BaseException):
+            raise outcome
+        if index == 1:
+            self.counters.inc("lookup_hedge_wins")
+        return outcome
+
+    def _hedge_probe_task(self, stagger_ns, name, ids, resolved, primary):
+        """The backup half of a hedged probe: wait out the stagger; if the
+        primary has not answered, fire the same Lookup at the next peer.
+        Never marks anyone unreachable — it is a latency hedge, not a
+        failure detector."""
+        yield Sleep(stagger_ns)
+        if primary.future.done():
+            return list(ids)
+        channel = self._peer_channel(name)
+        if channel is not None:
+            channel.aio_counters["hedges_fired"] += 1
+        self.counters.inc("lookup_hedges_fired")
+        result = yield from self._lookup_peer_task(
+            name, ids, resolved, None, None
+        )
+        return result
+
+    def _lookup_peer_task(
+        self,
+        name: str,
+        remaining: list[ObjectID],
+        resolved: dict,
+        unreachable: list[str] | None,
+        attr=None,
+    ):
+        """Task form of `_lookup_peer`: the Lookup goes through the peer
+        channel's coalescing buffer (sharing a wire message with any other
+        lookup landing within the batch window); error mapping matches the
+        sync path."""
+        channel = self._peer_channel(name)
+        if channel is None:
+            return self._lookup_peer(
+                name, list(remaining), resolved, unreachable, None, None
+            )
+        try:
+            response = yield channel.batched_call(
+                self._peers[name].stub.service,
+                "Lookup",
+                [oid.binary() for oid in remaining],
+                attr=attr,
+            )
+        except ServerOverloadedError:
+            self.counters.inc("lookups_shed")
+            if unreachable is not None and name not in unreachable:
+                unreachable.append(name)
+            return list(remaining)
+        except RpcStatusError as exc:
+            if self._peer_unavailable(name, exc):
+                if unreachable is not None and name not in unreachable:
+                    unreachable.append(name)
+                return list(remaining)
+            raise
+        self.counters.inc("lookup_rpcs")
+        claimed: set[ObjectID] = set()
+        for descriptor in response.get("found", []):
+            record = RemoteObjectRecord.from_descriptor(name, descriptor)
+            self._remote_records[record.object_id] = record
+            if self._lookup_cache is not None:
+                self._lookup_cache.put(record)
+            resolved[record.object_id] = record
+            claimed.add(record.object_id)
+        return [oid for oid in remaining if oid not in claimed]
+
+    def _pin_at_home_task(self, by_home: dict[str, list[ObjectID]], attr=None):
+        """Gathered, batched AddRef pins (task form of `_pin_at_home`)."""
+        if not by_home:
+            return
+        loop = self._aio_loop
+        homes, futures = [], []
+        for home in sorted(by_home):
+            channel = self._peer_channel(home)
+            if channel is None:
+                self._pin_at_home({home: by_home[home]})
+                continue
+            homes.append(home)
+            futures.append(
+                channel.batched_call(
+                    self._peers[home].stub.service,
+                    "AddRef",
+                    [oid.binary() for oid in by_home[home]],
+                    attr=attr,
+                )
+            )
+        if not futures:
+            return
+        results = yield loop.gather(futures)
+        for home, result in zip(homes, results):
+            if isinstance(result, RpcStatusError):
+                if result.code is StatusCode.NOT_FOUND:
+                    raise ObjectNotFoundError(str(result)) from result
+                raise result
+            if isinstance(result, BaseException):
+                raise result
+            for oid in by_home[home]:
+                self._remote_records[oid].pinned_at_home = True
+            self.counters.inc("addref_rpcs")
+
+    def delete_object_task(self, object_id: ObjectID, attr=None):
+        """Task form of delete: the local unlink is instant; the
+        NotifyDeleted fan-out and replica drops run concurrently."""
+        PlasmaStore.delete_object(self, object_id)
+        self._retract_from_directory(object_id)
+        yield from self._broadcast_deleted_task(object_id, attr)
+        yield from self._drop_remote_replicas_task(object_id, attr)
+        self._replicas_of.pop(object_id, None)
+
+    def _broadcast_deleted_task(self, object_id: ObjectID, attr=None):
+        """Concurrent batched NotifyDeleted to every peer (task form of
+        `_broadcast_deleted`, same unavailable-peer tolerance)."""
+        if not self._notify_deletions:
+            return
+        loop = self._aio_loop
+        wire_id = object_id.binary()
+        names, futures = [], []
+        for name in self.peers():
+            channel = self._peer_channel(name)
+            if channel is None:
+                try:
+                    self._peers[name].stub.NotifyDeleted(
+                        {"object_ids": [wire_id]}
+                    )
+                except RpcStatusError as exc:
+                    if self._peer_unavailable(name, exc):
+                        continue
+                    raise
+                continue
+            names.append(name)
+            futures.append(
+                channel.batched_call(
+                    self._peers[name].stub.service,
+                    "NotifyDeleted",
+                    [wire_id],
+                    attr=attr,
+                )
+            )
+        if futures:
+            results = yield loop.gather(futures)
+            for name, result in zip(names, results):
+                if isinstance(result, RpcStatusError):
+                    if self._peer_unavailable(name, result):
+                        continue
+                    raise result
+                if isinstance(result, BaseException):
+                    raise result
+        self.counters.inc("delete_notifications")
+
+    def _drop_remote_replicas_task(self, object_id: ObjectID, attr=None):
+        """Concurrent DropReplica to every recorded holder (task form of
+        `_drop_remote_replicas`; DropReplica is not batchable — one pipelined
+        unary per holder)."""
+        holders = self._replicated_to.pop(object_id, ())
+        if not holders:
+            return
+        loop = self._aio_loop
+        payload = {"object_ids": [object_id.binary()]}
+        names, tasks = [], []
+        for name in holders:
+            if name not in self._peers:
+                continue
+            channel = self._peer_channel(name)
+            if channel is None:
+                try:
+                    self._peers[name].stub.DropReplica(payload)
+                except RpcStatusError as exc:
+                    if self._peer_unavailable(name, exc):
+                        continue
+                    raise
+                continue
+            names.append(name)
+            tasks.append(
+                loop.spawn(
+                    channel.unary_task(
+                        self._peers[name].stub.service,
+                        "DropReplica",
+                        payload,
+                        attr=attr,
+                    ),
+                    name=f"drop-replica:{name}",
+                )
+            )
+        if not tasks:
+            return
+        results = yield loop.gather(tasks)
+        for name, result in zip(names, results):
+            if isinstance(result, RpcStatusError):
+                if self._peer_unavailable(name, result):
+                    continue
+                raise result
+            if isinstance(result, BaseException):
+                raise result
+
+    def forward_put_task(
+        self,
+        object_id: ObjectID,
+        data,
+        metadata: bytes,
+        home: str,
+        *,
+        replicas: int = 1,
+        attr=None,
+    ):
+        """Task form of :meth:`forward_put`: the PlacedCreate and PlacedSeal
+        hops are pipelined unary tasks sharing one deadline budget; the
+        payload still streams over the fabric between them."""
+        handle = self.peer(home)
+        channel = self._peer_channel(home)
+        if channel is None:
+            return self.forward_put(
+                object_id, data, metadata, home, replicas=replicas
+            )
+        mv = memoryview(data)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        budget = DeadlineBudget.for_stub(handle.stub, self.clock)
+        service = handle.stub.service
+        try:
+            response = yield from channel.unary_task(
+                service,
+                "PlacedCreate",
+                {
+                    "object_id": object_id.binary(),
+                    "data_size": len(mv),
+                    "metadata": bytes(metadata),
+                },
+                attr=attr,
+                **budget.kwargs(),
+            )
+        except RpcStatusError as exc:
+            if exc.code is StatusCode.ALREADY_EXISTS:
+                raise ObjectExistsError(
+                    f"{object_id!r} already exists in home store {home}"
+                ) from exc
+            if self._peer_unavailable(home, exc):
+                self.counters.inc("placed_creates_fallback")
+                return False
+            raise
+        offset = int(response["offset"])
+        handle.remote_region.write(offset, mv)
+        try:
+            yield from channel.unary_task(
+                service,
+                "PlacedSeal",
+                {"object_id": object_id.binary(), "replicas": int(replicas)},
+                attr=attr,
+                **budget.kwargs(),
+            )
+        except RpcStatusError as exc:
+            if self._peer_unavailable(home, exc):
+                raise ObjectUnavailableError(
+                    f"home store {home} became unreachable while sealing "
+                    f"{object_id!r}",
+                    unreachable_peers=(home,),
+                ) from exc
+            raise
+        self.counters.inc("placed_creates_forwarded")
+        self.counters.inc("placed_bytes_forwarded", len(mv))
+        return True
+
     # -- replication for failover reads (degraded-mode extension) ------------------------------
 
     def replicate_object(self, object_id: ObjectID, peer_name: str | None = None) -> str | None:
@@ -1140,10 +1702,7 @@ class DisaggregatedStore(PlasmaStore):
         """
         handle = self.peer(source)
         entry = self.create_object_unchecked(object_id, data_size, metadata)
-        payload = handle.remote_region.view(offset, data_size)
-        handle.remote_region.charge_read(data_size)
-        buffer = self.local_buffer(entry)
-        buffer.write(payload)
+        self._pull_payload(handle, entry, offset, data_size)
         self.seal_object(object_id)
         self._replicas_of[object_id] = source
         self.counters.inc("replicas_held")
@@ -1278,6 +1837,12 @@ class DisaggregatedStore(PlasmaStore):
         self.counters.inc("delete_notifications")
 
     def delete_object(self, object_id: ObjectID) -> None:
+        if self._aio_facade():
+            self._drive(
+                self.delete_object_task(object_id),
+                name=f"delete:{self._name}",
+            )
+            return
         super().delete_object(object_id)
         self._retract_from_directory(object_id)
         self._broadcast_deleted(object_id)

@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     QUANTILES,
 )
 from repro.obs.spans import (
+    BASE_COMPONENTS,
     COMPONENTS,
     FlightRecorder,
     NULL_SPAN_SINK,
@@ -40,6 +41,7 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "BASE_COMPONENTS",
     "COMPONENTS",
     "CorrelationContext",
     "Counter",

@@ -51,7 +51,19 @@ from dataclasses import dataclass, field
 SPAN_SCHEMA_VERSION = 1
 
 #: The critical-path components every traced op's latency decomposes into.
-COMPONENTS = ("cache", "client", "fabric", "hedge", "queue", "retry", "service")
+COMPONENTS = (
+    "cache", "client", "fabric", "hedge", "pipeline", "queue", "retry",
+    "service",
+)
+
+#: Components that exist in every root's bucket dict from the moment it
+#: opens. ``pipeline`` (async RPC overlap accounting) is *materialized on
+#: first charge* instead: a sync-mode run never charges it, so its roots
+#: keep exactly these keys and the TRACE artifacts from before the async
+#: plane existed replay byte-identical.
+BASE_COMPONENTS = (
+    "cache", "client", "fabric", "hedge", "queue", "retry", "service",
+)
 
 #: The component set before tiering existed; the workload report keeps
 #: emitting exactly these buckets when a scenario runs without a tiering
@@ -67,6 +79,7 @@ CATEGORY_COMPONENTS = {
     "client": "client",
     "fabric": "fabric",
     "hedge": "hedge",
+    "pipeline": "pipeline",
     "queue": "queue",
     "retry": "retry",
     "rpc": "service",
@@ -243,7 +256,9 @@ class _OpenSpan:
         e.g. the open-loop dispatch backlog an op waited out."""
         if self.components is None:
             raise ValueError("add_component is only valid on a root span")
-        self.components[component] += int(delta_ns)
+        self.components[component] = (
+            self.components.get(component, 0) + int(delta_ns)
+        )
 
 
 class _NullSpan:
@@ -263,7 +278,7 @@ class _NullSpan:
 
     @property
     def components(self) -> dict:
-        return {c: 0 for c in COMPONENTS}
+        return {c: 0 for c in BASE_COMPONENTS}
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -372,7 +387,8 @@ class SpanSink:
                 if mapped is not None:
                     component = mapped
                     break
-        stack[0].components[component] += delta_ns
+        buckets = stack[0].components
+        buckets[component] = buckets.get(component, 0) + delta_ns
 
     def _open(self, span: _OpenSpan) -> None:
         span.start_ns = self._clock.now_ns
@@ -387,7 +403,7 @@ class SpanSink:
             self._trace_seq += 1
             span.trace_id = str(rid) if rid else f"t{self._trace_seq:06d}"
             span.is_root = True
-            span.components = {c: 0 for c in COMPONENTS}
+            span.components = {c: 0 for c in BASE_COMPONENTS}
             span.head_kept = self._head_sample()
             self._buffer = []
         self._stack.append(span)

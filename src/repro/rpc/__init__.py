@@ -22,8 +22,26 @@ from repro.rpc.status import StatusCode
 from repro.rpc.service import Service, rpc_method
 from repro.rpc.server import RpcServer
 from repro.rpc.channel import Channel, ServiceStub
+from repro.rpc.aio import (
+    AsyncChannel,
+    CoalescingBuffer,
+    EventLoop,
+    EventLoopError,
+    Future,
+    Sleep,
+    Task,
+    TaskAttribution,
+)
 
 __all__ = [
+    "AsyncChannel",
+    "CoalescingBuffer",
+    "EventLoop",
+    "EventLoopError",
+    "Future",
+    "Sleep",
+    "Task",
+    "TaskAttribution",
     "encode_message",
     "decode_message",
     "MessageError",

@@ -1,0 +1,47 @@
+"""Deterministic cooperative event loop and async RPC core.
+
+``repro.rpc`` reproduces the paper's synchronous unary gRPC stack: one
+blocking request in flight per channel, so concurrent clients serialize
+behind the fabric (the Fig 6 bottleneck). This package is the fix named by
+ROADMAP item 1 — an event-driven scheduler on :class:`~repro.common.clock.SimClock`
+that keeps many requests in flight per peer while staying **bit-exactly
+deterministic**:
+
+* :class:`EventLoop` — a heap of ``(wake_ns, tie, seq)``-ordered events over
+  generator-coroutine tasks. Ties at the same simulated instant break by a
+  seeded random rank (never wall-clock, never hash order), so two runs of
+  the same seed interleave identically.
+* :class:`AsyncChannel` — extends :class:`~repro.rpc.channel.Channel` with
+  non-blocking task-based calls: pipelined unary calls, transparent
+  coalescing of id-list RPCs into batched wire messages
+  (:class:`CoalescingBuffer`), and chunked streaming pulls.
+
+Sync callers never touch this package — ``rpc_mode="sync"`` preserves the
+one-in-flight semantics (and every standing BENCH/TRACE artifact) exactly.
+"""
+
+from repro.rpc.aio.loop import (
+    EventLoop,
+    EventLoopError,
+    Future,
+    Sleep,
+    Task,
+    TaskAttribution,
+)
+from repro.rpc.aio.batch import CoalescingBuffer, BATCHABLE_METHODS
+from repro.rpc.aio.channel import AsyncChannel
+from repro.rpc.aio.streaming import stream_pull, stream_pull_task
+
+__all__ = [
+    "EventLoop",
+    "EventLoopError",
+    "Future",
+    "Sleep",
+    "Task",
+    "TaskAttribution",
+    "CoalescingBuffer",
+    "BATCHABLE_METHODS",
+    "AsyncChannel",
+    "stream_pull",
+    "stream_pull_task",
+]

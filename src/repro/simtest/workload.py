@@ -32,6 +32,10 @@ _BURST_MS = (5, 20, 100)
 TENANTS = ("alpha", "beta")
 _QUOTA_BYTES = (1024, 8192, 65536)
 
+#: Ids per multi_get in the concurrency profile: wide enough that one
+#: call usually spans several holders (scatter-gather + coalescing).
+_MULTI_GET_FANOUT = (2, 3, 4, 6)
+
 #: (kind, weight) — relative frequency of each op kind in the stream.
 WEIGHTS: tuple[tuple[str, int], ...] = (
     ("put", 20),
@@ -58,6 +62,37 @@ WEIGHTS: tuple[tuple[str, int], ...] = (
     ("health", 8),
     ("advance", 9),
 )
+
+#: Concurrency-stress weighting: the data-path ops that exercise the
+#: async task plane (gets, puts, deletes, batched multi-gets) dominate,
+#: with crashes and blackholes kept so batches land mid-fault and hedges
+#: actually fire; occasional set_rpc_mode flips stress the sync/async
+#: boundary itself. The drain/remove/overload machinery is left out —
+#: it is covered by the default profile and only dilutes the schedule
+#: space this profile explores.
+CONCURRENCY_WEIGHTS: tuple[tuple[str, int], ...] = (
+    ("put", 24),
+    ("get", 20),
+    ("multi_get", 14),
+    ("delete", 10),
+    ("set_rpc_mode", 2),
+    ("crash", 3),
+    ("recover", 6),
+    ("partition", 2),
+    ("heal", 4),
+    ("blackhole", 4),
+    ("promote", 2),
+    ("demote", 2),
+    ("scrub", 2),
+    ("rebalance", 3),
+    ("health", 5),
+    ("advance", 7),
+)
+
+PROFILE_WEIGHTS: dict[str, tuple[tuple[str, int], ...]] = {
+    "default": WEIGHTS,
+    "concurrency": CONCURRENCY_WEIGHTS,
+}
 
 
 class _Book:
@@ -90,13 +125,22 @@ def _pair(rng: DeterministicRng, names: list[str]) -> tuple[str, str]:
     return a, rng.choice(rest)
 
 
-def generate_ops(seed: int, n_ops: int) -> list[Op]:
-    """Produce a deterministic trace of ``n_ops`` ops for ``seed``."""
+def generate_ops(seed: int, n_ops: int, profile: str = "default") -> list[Op]:
+    """Produce a deterministic trace of ``n_ops`` ops for ``seed``.
+
+    ``profile`` selects the kind weighting (:data:`PROFILE_WEIGHTS`).
+    The default profile draws exactly the entropy it always has, so
+    every pre-existing trace and golden seed stays byte-identical. The
+    ``concurrency`` profile pins op 0 to ``set_rpc_mode(mode=async)``
+    so the bulk of the trace runs on the event-loop task plane.
+    """
 
     rng = DeterministicRng(derive_seed(seed, "simtest-workload"))
-    kinds = [k for k, w in WEIGHTS for _ in range(w)]
+    kinds = [k for k, w in PROFILE_WEIGHTS[profile] for _ in range(w)]
     book = _Book()
     ops: list[Op] = []
+    if profile == "concurrency" and n_ops > 0:
+        ops.append(make("set_rpc_mode", mode="async"))
 
     def fallback() -> Op:
         # Substituted when a drawn kind has no valid target; keeps the
@@ -152,6 +196,26 @@ def generate_ops(seed: int, n_ops: int) -> list[Op]:
                 else:
                     obj = int(rng.choice(book.live_objs))
                 op = make("get", obj=obj, node=str(rng.choice(book.up())))
+        elif kind == "multi_get":
+            if book.live_objs and book.up():
+                count = int(rng.choice(list(_MULTI_GET_FANOUT)))
+                picks = [
+                    int(rng.choice(book.live_objs)) for _ in range(count)
+                ]
+                # Occasionally poison one slot with a stale/unknown id so
+                # batched lookups mix hits and misses in one wire message.
+                if book.next_obj and rng.integer(0, 100) < 15:
+                    picks[0] = int(rng.integer(0, book.next_obj))
+                op = make(
+                    "multi_get",
+                    objs=",".join(str(o) for o in picks),
+                    node=str(rng.choice(book.up())),
+                )
+        elif kind == "set_rpc_mode":
+            # Mostly stay async (the plane under stress), sometimes flip
+            # back to sync so mode switches interleave with faults.
+            mode = "sync" if rng.integer(0, 4) == 0 else "async"
+            op = make("set_rpc_mode", mode=mode)
         elif kind == "delete":
             if book.live_objs:
                 obj = int(rng.choice(book.live_objs))

@@ -145,6 +145,8 @@ def build_workload_payload(result) -> dict:
         payload["latency_attribution"] = attribution_block(result)
     if getattr(result, "tiering_enabled", False):
         payload["tiering"] = result.tiering
+    if getattr(result, "rpc_enabled", False):
+        payload["rpc"] = rpc_block(result)
     return payload
 
 
@@ -179,6 +181,26 @@ def attribution_block(result) -> dict:
         "by_tenant": _attribution_table(result.attribution_by_tenant),
         "sampling": dict(result.sampling),
     }
+
+
+def rpc_block(result) -> dict:
+    """The ``rpc`` section of a BENCH payload: effective RPC mode, the
+    merged per-channel pipelining/batching/hedging counters, and — in
+    async mode — the task-plane latency attribution (per-kind and
+    per-tenant components including ``pipeline``, with the ns-exact sum
+    invariant). Only present when the scenario has an ``rpc`` block —
+    legacy artifacts stay byte-identical."""
+    out = {
+        "mode": result.rpc_mode,
+        "counters": dict(sorted(result.rpc_counters.items())),
+    }
+    if result.rpc_mode == "async":
+        out["attribution"] = {
+            "exact": bool(result.attribution_exact),
+            "by_kind": _attribution_table(result.attribution_by_kind),
+            "by_tenant": _attribution_table(result.attribution_by_tenant),
+        }
+    return out
 
 
 def overload_block(result, duration_s: float) -> dict:

@@ -24,6 +24,7 @@ from. Everything observable is a pure function of (scenario, seed).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field, replace
 
 from repro.common.config import ClusterConfig, OverloadConfig, TierConfig
@@ -34,7 +35,8 @@ from repro.common.stats import Distribution
 from repro.common.units import MiB
 from repro.core.cluster import Cluster
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import COMPONENTS, LEGACY_COMPONENTS, SpanConfig
+from repro.obs.spans import BASE_COMPONENTS, LEGACY_COMPONENTS, SpanConfig
+from repro.rpc.aio.loop import Sleep, TaskAttribution
 from repro.workload.admission import AdmissionController, TenantQuota
 from repro.workload.arrival import closed_loop_next
 from repro.workload.report import build_workload_payload
@@ -100,6 +102,14 @@ class WorkloadResult:
     # engine counters, and the fabric bytes the cache kept off the wire.
     tiering_enabled: bool = False
     tiering: dict = field(default_factory=dict)
+    # Async-RPC measurements (populated only when the scenario has an
+    # ``rpc`` block): effective mode and the merged per-channel pipelining
+    # counters (batches sent, ids coalesced, hedges fired, in-flight peak).
+    # In async mode the per-op attribution tables above are filled from
+    # task-local :class:`TaskAttribution` instead of the span plane.
+    rpc_enabled: bool = False
+    rpc_mode: str = "sync"
+    rpc_counters: dict[str, int] = field(default_factory=dict)
 
 
 def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
@@ -140,6 +150,15 @@ def _config_for(scenario: Scenario, seed: int) -> ClusterConfig:
             hedge_quantile=spec.hedge_quantile,
             hedge_min_samples=spec.hedge_min_samples,
         )
+    rspec = scenario.rpc
+    if rspec is not None:
+        rpc = replace(
+            rpc,
+            mode=rspec.mode,
+            batch_window_ns=rspec.batch_window_ns,
+            max_batch=rspec.max_batch,
+            hedge_stagger_ns=rspec.hedge_stagger_ns,
+        )
     tier = config.tier
     tspec = scenario.tiering
     if tspec is not None:
@@ -170,6 +189,9 @@ class ScenarioRunner:
         self.registry = MetricsRegistry(node="workload")
         self._burst_model = None
         self._shed_expired_ingress = False
+        self._rpc_async = (
+            scenario.rpc is not None and scenario.rpc.mode == "async"
+        )
         self.admission = AdmissionController()
         self.admission.attach_metrics(self.registry)
         for tenant in scenario.tenants:
@@ -224,7 +246,11 @@ class ScenarioRunner:
         heterogeneous = any(w != 1.0 for w in weights.values())
         tracing = None
         spec = self.scenario.tracing
-        if spec is not None and spec.enabled:
+        if spec is not None and spec.enabled and not self._rpc_async:
+            # The span sink attributes clock advances through a single
+            # open-root stack — sound only while one op is on the clock at
+            # a time. Under the event loop attribution is carried per task
+            # (TaskAttribution), so the sink stays detached in async mode.
             tracing = SpanConfig(
                 sample_rate=spec.sample_rate,
                 tail_percentile=spec.tail_percentile,
@@ -379,6 +405,170 @@ class ScenarioRunner:
         self._m_bytes.labels(tenant=op.tenant, direction="read").inc(read)
         return "ok"
 
+    # ------------------------------------------------------------------ async ops
+    #
+    # The event-loop twins of the _do_* bodies above: each op runs as one
+    # task, yielding its transport waits to the loop so many ops overlap in
+    # simulated time. Resolution goes through the client task plane —
+    # multi_get/get/put/delete tasks with coalesced per-peer lookups — and
+    # latency attribution rides per task (queue → client → service →
+    # fabric settle points, pipeline/retry/hedge waits hinted by children).
+
+    def _delete_slot_task(self, slot: int, attr):
+        state = self._slots.pop(slot, None)
+        if state is None:
+            return False
+        oid = ObjectID.from_int(state.oid_int)
+        holder = self._find_holder(oid)
+        if holder is not None:
+            yield from self.cluster.store(holder).delete_object_task(oid, attr)
+        self.admission.record_stored(state.tenant, -state.size)
+        self.result.bytes_deleted += state.size
+        return True
+
+    def _do_read_task(self, op: WorkloadOp, attr):
+        state = self._slots.get(op.slot)
+        if state is None:
+            return "miss"
+        client = self._client(op.seq)
+        oid = ObjectID.from_int(state.oid_int)
+        cache = None
+        if self._read_stats is not None:
+            agent = client.store.tier_agent
+            cache = agent.cache if agent is not None else None
+            if cache is not None:
+                cache.last_served = None
+        buffers = yield from client.get_task([oid], allow_missing=True,
+                                             attr=attr)
+        attr.settle("service")
+        if buffers[0] is None:
+            return "miss"
+        try:
+            data = buffers[0].read_all()
+        finally:
+            client.release(oid)
+        attr.settle("fabric")
+        if self._read_stats is not None:
+            remote = buffers[0].is_remote
+            hit = (
+                cache is not None
+                and cache.last_served is not None
+                and cache.last_served[0] == oid
+            )
+            reads, remotes, hits = self._read_stats.get(op.slot, (0, 0, 0))
+            self._read_stats[op.slot] = (
+                reads + 1,
+                remotes + int(remote),
+                hits + int(hit),
+            )
+        self.result.bytes_read += len(data)
+        self._m_bytes.labels(tenant=op.tenant, direction="read").inc(len(data))
+        return "ok"
+
+    def _do_write_task(self, op: WorkloadOp, attr):
+        yield from self._delete_slot_task(op.slot, attr)
+        oid = self._fresh_oid()
+        # Concurrent writes keep allocating ids while this task is
+        # suspended, so pin this object's id now rather than re-reading
+        # the allocator after the put completes.
+        oid_int = self._next_oid
+        yield from self._client(op.seq).put_bytes_task(
+            oid,
+            payload_for(op.slot, oid_int, op.size_bytes),
+            replicas=self.scenario.cluster.replicas,
+            attr=attr,
+        )
+        attr.settle("service")
+        self._slots[op.slot] = _Slot(oid_int, op.size_bytes, op.tenant)
+        self.admission.record_stored(op.tenant, op.size_bytes)
+        self.result.bytes_written += op.size_bytes
+        self._m_bytes.labels(tenant=op.tenant, direction="write").inc(
+            op.size_bytes
+        )
+        return "ok"
+
+    def _do_delete_task(self, op: WorkloadOp, attr):
+        deleted = yield from self._delete_slot_task(op.slot, attr)
+        attr.settle("service")
+        return "ok" if deleted else "miss"
+
+    def _do_scan_task(self, op: WorkloadOp, attr):
+        n_slots = self.scenario.population.objects
+        oids = []
+        for offset in range(self.scenario.traffic.scan_length):
+            state = self._slots.get((op.slot + offset) % n_slots)
+            if state is not None:
+                oids.append(ObjectID.from_int(state.oid_int))
+        if not oids:
+            return "empty"
+        client = self._client(op.seq)
+        # The whole scan is one batched multi-get: a single coalesced
+        # Lookup per peer instead of scan_length unary calls.
+        payloads = yield from client.multi_get_task(
+            oids, allow_missing=True, attr=attr
+        )
+        read = sum(len(p) for p in payloads if p is not None)
+        self.result.bytes_read += read
+        self._m_bytes.labels(tenant=op.tenant, direction="read").inc(read)
+        return "ok"
+
+    def _op_task(self, op: WorkloadOp, issue_ns: int):
+        """One op as an event-loop task — the async twin of
+        ``_execute``/``_execute_inner``, identical bookkeeping."""
+        clock = self.cluster.clock
+        result = self.result
+        self._maybe_burst()
+        if (
+            self._shed_expired_ingress
+            and clock.now_ns - issue_ns >= result.op_deadline_ns
+        ):
+            result.executed_ops += 1
+            result.outcomes["shed:expired"] = (
+                result.outcomes.get("shed:expired", 0) + 1
+            )
+            result.overload_client["ingress_shed"] = (
+                result.overload_client.get("ingress_shed", 0) + 1
+            )
+            self._m_ops.labels(
+                tenant=op.tenant, kind=op.kind, outcome="shed:expired"
+            ).inc()
+            return
+        try:
+            self.admission.admit(
+                op.tenant, op.kind, op.size_bytes, clock.now_ns
+            )
+        except AdmissionRejectedError as exc:
+            outcome = f"rejected:{exc.reason}"
+            self._m_ops.labels(
+                tenant=op.tenant, kind=op.kind, outcome=outcome
+            ).inc()
+            result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
+            return
+        attr = TaskAttribution(clock, issue_ns)
+        # Between the op's scheduled arrival and the task actually starting
+        # the loop may have been busy with other ops: that is queueing.
+        attr.settle("queue")
+        try:
+            outcome = yield from getattr(self, f"_do_{op.kind}_task")(op, attr)
+        except ReproError as exc:
+            outcome = f"error:{type(exc).__name__}"
+        attr.settle("client")
+        latency = clock.now_ns - issue_ns
+        result.executed_ops += 1
+        if outcome == "ok" and (
+            result.op_deadline_ns <= 0 or latency <= result.op_deadline_ns
+        ):
+            result.in_deadline_ops += 1
+        result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
+        result.latency_overall.add(latency)
+        result.latency_by_kind.setdefault(op.kind, Distribution()).add(latency)
+        self._m_ops.labels(tenant=op.tenant, kind=op.kind, outcome=outcome).inc()
+        self._m_latency.labels(tenant=op.tenant, kind=op.kind).observe(latency)
+        if attr.total_ns() != latency:
+            result.attribution_exact = False
+        self._accumulate_attribution(op, latency, attr.components)
+        self._maybe_tier_tick()
+
     # ------------------------------------------------------------------ run
 
     def _maybe_burst(self) -> None:
@@ -421,8 +611,13 @@ class ScenarioRunner:
         result = self.result
         # Without a tiering block the "cache" component cannot acquire time
         # (no tier agent exists), so the report keeps emitting exactly the
-        # legacy buckets — pre-tiering artifacts stay byte-identical.
-        known = COMPONENTS if self.scenario.tiering is not None else LEGACY_COMPONENTS
+        # legacy buckets — pre-tiering artifacts stay byte-identical. The
+        # "pipeline" bucket likewise only appears once async mode charges it.
+        known = (
+            BASE_COMPONENTS
+            if self.scenario.tiering is not None
+            else LEGACY_COMPONENTS
+        )
         for key, table in (
             (op.kind, result.attribution_by_kind),
             (op.tenant, result.attribution_by_tenant),
@@ -667,7 +862,9 @@ class ScenarioRunner:
             self._next_burst_ns = t0 + self._burst_period_ns
 
         arrival = scenario.traffic.arrival
-        if arrival.mode == "open":
+        if self._rpc_async:
+            self._run_async(ops, t0, arrival)
+        elif arrival.mode == "open":
             for op in ops:
                 at = t0 + op.at_ns
                 if clock.now_ns < at:
@@ -700,7 +897,59 @@ class ScenarioRunner:
             self.result.tiering = self._collect_tiering()
         if self._spans is not None:
             self.result.sampling = self._spans.sampling_stats()
+        if scenario.rpc is not None:
+            self.result.rpc_enabled = True
+            self.result.rpc_mode = scenario.rpc.mode
+            self._collect_rpc()
         return self.result
+
+    def _run_async(self, ops, t0: int, arrival) -> None:
+        """Drive the op stream through the event loop.
+
+        Open loop: one task per op, spawned at its scheduled arrival —
+        in-flight ops overlap in simulated time instead of serializing.
+        Closed loop: ``clients`` puller tasks, each taking the next op from
+        the shared stream and sleeping its think time between ops.
+        """
+        loop = self.cluster.loop
+        clock = self.cluster.clock
+        if arrival.mode == "open":
+            for op in ops:
+                at = t0 + op.at_ns
+                loop.run_until(at)
+                loop.spawn(self._op_task(op, at), name=f"op:{op.seq}")
+            loop.drain()
+            return
+        queue = deque(ops)
+        think = arrival.think_time_us
+
+        def puller():
+            while queue:
+                op = queue.popleft()
+                yield from self._op_task(op, clock.now_ns)
+                ready = closed_loop_next(clock.now_ns, think)
+                if ready > clock.now_ns:
+                    yield Sleep(ready - clock.now_ns)
+
+        for client_id in range(arrival.clients):
+            loop.spawn(puller(), name=f"client:{client_id}")
+        loop.drain()
+
+    def _collect_rpc(self) -> None:
+        """Merge per-channel async-plane counters into the result (node
+        order → deterministic; ``in_flight_peak`` is a max, the rest sum)."""
+        merged = self.result.rpc_counters
+        for name in self.cluster.node_names():
+            node = self.cluster.node(name)
+            for _, channel in sorted(node.channels.items()):
+                counters = getattr(channel, "aio_counters", None)
+                if not counters:
+                    continue
+                for key, value in counters.items():
+                    if key == "in_flight_peak":
+                        merged[key] = max(merged.get(key, 0), value)
+                    else:
+                        merged[key] = merged.get(key, 0) + value
 
 
 def run_scenario(

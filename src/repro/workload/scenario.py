@@ -700,6 +700,54 @@ class TieringSpec:
         return {name: getattr(self, name) for name in self.FIELDS}
 
 
+# --------------------------------------------------------------------------- rpc
+
+
+@dataclass(frozen=True)
+class RpcSpec:
+    """Async RPC core knobs for the run (see :mod:`repro.rpc.aio`).
+
+    Present, the runner drives the op stream through the event-loop task
+    plane: many operations in flight per peer, id-list calls (Lookup,
+    AddRef, NotifyDeleted) transparently coalesced into batched wire
+    messages within ``batch_window_ns`` (up to ``max_batch`` ids), scans
+    issued as one batched multi-get, and — when ``hedge_stagger_ns`` > 0 —
+    scatter-gather lookups hedged to the next replica holder after the
+    stagger. ``mode: "sync"`` keeps the block present but runs the legacy
+    serial path. Absent, everything stays the unary baseline and artifacts
+    are byte-identical to previous schema versions.
+    """
+
+    mode: str = "async"
+    batch_window_ns: float = 50_000.0
+    max_batch: int = 16
+    hedge_stagger_ns: float = 0.0
+
+    FIELDS = ("mode", "batch_window_ns", "max_batch", "hedge_stagger_ns")
+
+    @classmethod
+    def from_obj(cls, obj: object, path: str) -> "RpcSpec":
+        data = _require_mapping(obj, path)
+        _check_fields(data, cls.FIELDS, path)
+        mode = _string(data, "mode", path, "async")
+        if mode not in ("sync", "async"):
+            raise _fail(f"{path}.mode",
+                        f"unknown rpc mode {mode!r}; have ('sync', 'async')")
+        return cls(
+            mode=mode,
+            batch_window_ns=_number(
+                data, "batch_window_ns", path, 50_000.0, lo=0.0
+            ),
+            max_batch=_number(data, "max_batch", path, 16, lo=1, integer=True),
+            hedge_stagger_ns=_number(
+                data, "hedge_stagger_ns", path, 0.0, lo=0.0
+            ),
+        )
+
+    def to_obj(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
 # --------------------------------------------------------------------------- tenants
 
 
@@ -783,10 +831,11 @@ class Scenario:
     overload: OverloadSpec | None = None
     tracing: TracingSpec | None = None
     tiering: TieringSpec | None = None
+    rpc: RpcSpec | None = None
 
     FIELDS = ("schema_version", "name", "description", "seed", "cluster",
               "population", "traffic", "tenants", "overload", "tracing",
-              "tiering")
+              "tiering", "rpc")
 
     @classmethod
     def from_obj(cls, obj: object, path: str = "scenario") -> "Scenario":
@@ -839,6 +888,11 @@ class Scenario:
                 if data.get("tiering") is not None
                 else None
             ),
+            rpc=(
+                RpcSpec.from_obj(data["rpc"], f"{path}.rpc")
+                if data.get("rpc") is not None
+                else None
+            ),
         )
         if scenario.traffic.scan_length > scenario.population.objects:
             raise _fail(f"{path}.traffic.scan_length",
@@ -862,6 +916,8 @@ class Scenario:
             out["tracing"] = self.tracing.to_obj()
         if self.tiering is not None:
             out["tiering"] = self.tiering.to_obj()
+        if self.rpc is not None:
+            out["rpc"] = self.rpc.to_obj()
         return out
 
     def with_seed(self, seed: int) -> "Scenario":

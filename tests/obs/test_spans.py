@@ -13,6 +13,7 @@ import pytest
 from repro.common.clock import SimClock
 from repro.common.rng import DeterministicRng
 from repro.obs.spans import (
+    BASE_COMPONENTS,
     COMPONENTS,
     NULL_SPAN_SINK,
     FlightRecorder,
@@ -260,8 +261,22 @@ class TestClockNeutrality:
         assert clock.now_ns == before
         assert sink.traces()[0]["duration_ns"] == 0
 
-    def test_components_cover_exactly_the_known_set(self):
+    def test_components_cover_exactly_the_base_set(self):
+        # "pipeline" is materialize-on-charge: a run that never pins it
+        # keeps exactly the base buckets, so pre-async traces replay
+        # byte-identical.
         clock, sink = make_sink()
         with sink.span("op", "get", node="n"):
             clock.advance(1)
-        assert set(sink.traces()[0]["components_ns"]) == set(COMPONENTS)
+        assert set(sink.traces()[0]["components_ns"]) == set(BASE_COMPONENTS)
+
+    def test_pipeline_component_materializes_on_charge(self):
+        assert "pipeline" in COMPONENTS
+        clock, sink = make_sink()
+        with sink.span("op", "mget", node="n") as root:
+            with sink.component("pipeline"):
+                clock.advance(7)
+            clock.advance(3)
+        buckets = sink.traces()[0]["components_ns"]
+        assert buckets["pipeline"] == 7
+        assert sum(buckets.values()) == root.duration_ns

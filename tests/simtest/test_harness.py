@@ -99,3 +99,30 @@ def test_generated_trace_replay_matches_run_seed():
     direct = SimulationRunner(9).run(ops)
     via_helper = run_seed(9, 60)
     assert direct.trace_text() == via_helper.trace_text()
+
+
+def test_concurrency_profile_seed_is_clean_and_replays_identically():
+    first = run_seed(3, 120, profile="concurrency")
+    assert first.ok, first.report()
+    assert "set_rpc_mode(mode=async)" in first.steps[0]
+    second = run_seed(3, 120, profile="concurrency")
+    assert first.trace_text() == second.trace_text()
+
+
+@pytest.mark.slow
+@pytest.mark.simtest
+def test_small_concurrency_sweep_is_clean():
+    sweep = run_seeds(6, 120, profile="concurrency")
+    assert sweep.ok, sweep.summary()
+
+
+def test_handcrafted_async_multi_get_mixes_hits_and_misses():
+    ops = [
+        make("set_rpc_mode", mode="async"),
+        make("put", obj=0, node="node0", size=512, replicas=1),
+        make("put", obj=1, node="node1", size=512, replicas=1),
+        make("multi_get", objs="0,7,1,0", node="node2"),
+    ]
+    result = SimulationRunner(2).run(ops)
+    assert result.ok, result.report()
+    assert result.steps[3].endswith("-> ok,notfound,ok,ok")
